@@ -1,0 +1,41 @@
+//! Ablation bench: the dirty-item tree cache (DESIGN.md section 3). The
+//! schedules must be identical with the cache on and off (asserted here);
+//! the benchmark quantifies the speedup the cache buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::paper_scenario;
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+
+fn bench(c: &mut Criterion) {
+    let scenario = paper_scenario(0);
+    let cached_cfg = HeuristicConfig::paper_best();
+    let uncached_cfg = HeuristicConfig { caching: false, ..cached_cfg.clone() };
+
+    // Exactness check before measuring anything.
+    let with_cache = run(&scenario, Heuristic::FullPathOneDestination, &cached_cfg);
+    let without = run(&scenario, Heuristic::FullPathOneDestination, &uncached_cfg);
+    assert_eq!(
+        with_cache.schedule, without.schedule,
+        "tree caching must not change the schedule"
+    );
+    println!(
+        "[ablation] identical schedules; dijkstra runs {} (cached) vs {} (uncached), \
+         cache hit rate {:.1}%",
+        with_cache.metrics.dijkstra_runs,
+        without.metrics.dijkstra_runs,
+        with_cache.metrics.cache_hit_rate() * 100.0
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("full_one/C4/cached", |b| {
+        b.iter(|| run(&scenario, Heuristic::FullPathOneDestination, &cached_cfg))
+    });
+    group.bench_function("full_one/C4/uncached", |b| {
+        b.iter(|| run(&scenario, Heuristic::FullPathOneDestination, &uncached_cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

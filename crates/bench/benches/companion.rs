@@ -1,0 +1,38 @@
+//! Companion-report bench: regenerates the remaining tables — min/max
+//! spread, the C3Floor extension comparison, and the fault-tolerance
+//! recovery study — at bench scale, and measures the exact
+//! branch-and-bound reference on a tiny instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::bench_harness;
+use dstage_core::exact::best_order_schedule;
+use dstage_model::request::PriorityWeights;
+use dstage_sim::experiments::{extensions, fault_tolerance, minmax};
+use dstage_workload::{generate, GeneratorConfig};
+
+fn bench(c: &mut Criterion) {
+    let harness = bench_harness();
+    println!("{}", minmax(&harness).to_text());
+    println!("{}", extensions(&harness).to_text());
+    println!("{}", fault_tolerance(&GeneratorConfig::small(), 2).to_text());
+
+    // Exact reference on a tiny instance (4 machines, 8 requests).
+    let tiny = GeneratorConfig {
+        machines: 4..=4,
+        out_degree: 2..=3,
+        request_factor: 2..=2,
+        item_size: 10_000..=2_000_000,
+        ..GeneratorConfig::default()
+    };
+    let scenario = generate(&tiny, 0);
+    let weights = PriorityWeights::paper_1_10_100();
+    let mut group = c.benchmark_group("companion");
+    group.sample_size(10);
+    group.bench_function("exact/8-requests", |b| {
+        b.iter(|| best_order_schedule(&scenario, &weights))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

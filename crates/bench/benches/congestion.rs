@@ -1,0 +1,28 @@
+//! Congestion ablation bench: regenerates the criterion-vs-load table at
+//! bench scale, then measures a heuristic run at 1x and 4x request load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_sim::experiments::congestion;
+use dstage_workload::{generate, GeneratorConfig};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "[bench] congestion table at bench scale (3 cases, small config; \
+         paper scale via `figures congestion`)"
+    );
+    println!("{}", congestion(&GeneratorConfig::small(), 3).to_text());
+
+    let mut group = c.benchmark_group("congestion");
+    group.sample_size(10);
+    for factor in [1.0_f64, 4.0] {
+        let scenario = generate(&GeneratorConfig::paper().with_congestion(factor), 0);
+        group.bench_function(format!("full_one/C4/{factor}x"), |b| {
+            b.iter(|| run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmark of the time-dependent multiple-source shortest-path
+//! search on a paper-scale network, fresh and congested.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::paper_scenario;
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_model::time::SimTime;
+use dstage_path::{earliest_arrival_tree, ItemQuery};
+use dstage_resources::ledger::NetworkLedger;
+
+fn bench(c: &mut Criterion) {
+    let scenario = paper_scenario(0);
+    let network = scenario.network();
+    let mut fresh = NetworkLedger::new(network);
+    for (_, item) in scenario.items() {
+        for src in item.sources() {
+            fresh.force_storage(src.machine, item.size(), src.available_at, scenario.horizon());
+        }
+    }
+    // A congested ledger: replay a full heuristic run's transfers.
+    let outcome = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+    let mut congested = fresh.clone();
+    for t in outcome.schedule.transfers() {
+        let _ = congested.commit_transfer(
+            network,
+            t.link,
+            t.start,
+            scenario.item(t.item).size(),
+            SimTime::MAX,
+        );
+    }
+
+    let item0 = dstage_model::ids::DataItemId::new(0);
+    let sources: Vec<_> = scenario
+        .item(item0)
+        .sources()
+        .iter()
+        .map(|s| (s.machine, s.available_at))
+        .collect();
+    let hold = vec![SimTime::MAX; network.machine_count()];
+
+    let mut group = c.benchmark_group("dijkstra");
+    for (label, ledger) in [("fresh", &fresh), ("congested", &congested)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                earliest_arrival_tree(&ItemQuery {
+                    network,
+                    ledger,
+                    size: scenario.item(item0).size(),
+                    sources: &sources,
+                    hold_until: &hold,
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

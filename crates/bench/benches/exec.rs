@@ -1,0 +1,25 @@
+//! Exec bench: regenerates the execution-metrics table (time, Dijkstra
+//! runs, links traversed) at bench scale, then measures the random
+//! lower-bound procedures, whose cost the table contextualizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::{bench_harness, paper_scenario};
+use dstage_core::baselines::{random_dijkstra, single_dijkstra_random};
+use dstage_sim::experiments::exec;
+
+fn bench(c: &mut Criterion) {
+    let harness = bench_harness();
+    println!("{}", exec(&harness).to_text());
+
+    let scenario = paper_scenario(0);
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(10);
+    group.bench_function("single_dijkstra_random", |b| {
+        b.iter(|| single_dijkstra_random(&scenario, 0))
+    });
+    group.bench_function("random_dijkstra", |b| b.iter(|| random_dijkstra(&scenario, 0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

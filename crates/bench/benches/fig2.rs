@@ -1,0 +1,26 @@
+//! Figure 2 bench: regenerates the bounds + best-criterion series at
+//! bench scale, then measures one full run of each heuristic with `Cost₄`
+//! (the figure's headline pairing) on a paper-scale scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::{bench_harness, paper_scenario};
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_sim::experiments::fig2;
+
+fn bench(c: &mut Criterion) {
+    let harness = bench_harness();
+    println!("{}", fig2(&harness).to_text());
+
+    let scenario = paper_scenario(0);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for heuristic in Heuristic::ALL {
+        group.bench_function(format!("{heuristic}/C4"), |b| {
+            b.iter(|| run(&scenario, heuristic, &HeuristicConfig::paper_best()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4 bench: regenerates the full path/one destination criterion
+//! sweep at bench scale, then measures one run per cost criterion on a
+//! paper-scale scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::{bench_harness, paper_scenario};
+use dstage_core::cost::{CostCriterion, EuWeights};
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_model::request::PriorityWeights;
+use dstage_sim::experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    let harness = bench_harness();
+    println!("{}", fig4(&harness).to_text());
+
+    let scenario = paper_scenario(0);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for criterion in CostCriterion::ALL {
+        let config = HeuristicConfig {
+            criterion,
+            eu: EuWeights::from_log10_ratio(0.0),
+            priority_weights: PriorityWeights::paper_1_10_100(),
+            caching: true,
+        };
+        group.bench_function(format!("full_one/{criterion}"), |b| {
+            b.iter(|| run(&scenario, Heuristic::FullPathOneDestination, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Priority-first bench: regenerates the heuristics-vs-simplified-scheme
+//! comparison at bench scale, then measures the priority-first scheduler
+//! against the heuristic on a paper-scale scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::{bench_harness, paper_scenario};
+use dstage_core::baselines::priority_first;
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_model::request::PriorityWeights;
+use dstage_sim::experiments::prio_first;
+
+fn bench(c: &mut Criterion) {
+    let harness = bench_harness();
+    println!("{}", prio_first(&harness).to_text());
+
+    let scenario = paper_scenario(0);
+    let mut group = c.benchmark_group("prio_first");
+    group.sample_size(10);
+    group.bench_function("priority_first", |b| {
+        b.iter(|| priority_first(&scenario, &PriorityWeights::paper_1_10_100()))
+    });
+    group.bench_function("full_one/C4", |b| {
+        b.iter(|| run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Weights bench: regenerates the 1,5,10-vs-1,10,100 class-breakdown table
+//! at bench scale, then measures scheduling under each weighting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstage_bench::{bench_harness, paper_scenario};
+use dstage_core::cost::{CostCriterion, EuWeights};
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_model::request::PriorityWeights;
+use dstage_sim::experiments::weights;
+
+fn bench(c: &mut Criterion) {
+    let harness = bench_harness();
+    println!("{}", weights(&harness).to_text());
+
+    let scenario = paper_scenario(0);
+    let mut group = c.benchmark_group("weights");
+    group.sample_size(10);
+    for (label, w) in [
+        ("1_5_10", PriorityWeights::paper_1_5_10()),
+        ("1_10_100", PriorityWeights::paper_1_10_100()),
+    ] {
+        let config = HeuristicConfig {
+            criterion: CostCriterion::C4,
+            eu: EuWeights::from_log10_ratio(2.0),
+            priority_weights: w,
+            caching: true,
+        };
+        group.bench_function(format!("full_one/C4/{label}"), |b| {
+            b.iter(|| run(&scenario, Heuristic::FullPathOneDestination, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Shared helpers for the criterion benchmarks.
+//!
+//! Each `benches/<experiment>.rs` target regenerates its paper artifact on
+//! a reduced harness (so `cargo bench` prints the series/rows) and then
+//! measures the runtime of the scheduling work behind it. The full-scale
+//! 40-case regeneration is the `figures` binary in `dstage-sim`
+//! (`cargo run --release -p dstage-sim --bin figures -- all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dstage_sim::runner::Harness;
+use dstage_workload::GeneratorConfig;
+
+/// Number of random test cases used by the bench-scale harness. The paper
+/// uses 40; benches trade cases for turnaround and print a banner saying
+/// so.
+pub const BENCH_CASES: usize = 4;
+
+/// Builds the reduced harness shared by the figure benches and prints the
+/// scale banner.
+#[must_use]
+pub fn bench_harness() -> Harness {
+    println!(
+        "[bench] regenerating at bench scale: {BENCH_CASES} cases, small generator config \
+         (paper scale: 40 cases, `figures` binary)"
+    );
+    Harness::new(&GeneratorConfig::small(), BENCH_CASES)
+}
+
+/// One paper-scale scenario for micro-benchmarks.
+#[must_use]
+pub fn paper_scenario(seed: u64) -> dstage_model::scenario::Scenario {
+    dstage_workload::generate(&GeneratorConfig::paper(), seed)
+}

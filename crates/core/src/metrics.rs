@@ -1,0 +1,69 @@
+//! Execution metrics for one scheduling run.
+//!
+//! The paper's companion report tracks heuristic execution time and how
+//! often Dijkstra's algorithm runs (full path/all destinations exists
+//! precisely to need fewer runs, §4.7); these counters reproduce that
+//! instrumentation.
+
+use core::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected while a heuristic runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of executions of the multiple-source shortest-path search.
+    pub dijkstra_runs: u64,
+    /// Number of shortest-path searches answered from the cache (always 0
+    /// when caching is disabled).
+    pub cache_hits: u64,
+    /// Number of scheduler iterations (one per cost-based selection).
+    pub iterations: u64,
+    /// Number of transfers committed.
+    pub transfers_committed: u64,
+    /// Wall-clock time of the run.
+    #[serde(with = "duration_serde")]
+    pub elapsed: Duration,
+}
+
+impl RunMetrics {
+    /// Fraction of shortest-path queries served from cache.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.dijkstra_runs + self.cache_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+mod duration_serde {
+    use core::time::Duration;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(Duration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hit_rate_handles_zero() {
+        assert_eq!(RunMetrics::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_hit_rate_fraction() {
+        let m = RunMetrics { dijkstra_runs: 25, cache_hits: 75, ..RunMetrics::default() };
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

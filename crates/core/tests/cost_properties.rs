@@ -1,0 +1,152 @@
+//! Property-based tests for the cost criteria (§4.8).
+
+use dstage_core::cost::{
+    cost_c1, step_cost, CostCriterion, DestinationCost, EuWeights,
+};
+use dstage_model::time::SimTime;
+use proptest::prelude::*;
+
+fn dest(arrival_s: u64, deadline_s: u64, weight: u64) -> DestinationCost {
+    DestinationCost::new(
+        SimTime::from_secs(arrival_s),
+        SimTime::from_secs(deadline_s),
+        weight,
+    )
+}
+
+fn dest_strategy() -> impl Strategy<Value = DestinationCost> {
+    (0u64..5_000, 0u64..5_000, 1u64..=100).prop_map(|(a, d, w)| dest(a, d, w))
+}
+
+fn weights_strategy() -> impl Strategy<Value = EuWeights> {
+    (0.0f64..1_000.0, 0.0f64..1_000.0).prop_map(|(e, u)| EuWeights::new(e, u))
+}
+
+proptest! {
+    #[test]
+    fn all_costs_are_finite(
+        dests in prop::collection::vec(dest_strategy(), 0..10),
+        w in weights_strategy(),
+    ) {
+        for c in [CostCriterion::C2, CostCriterion::C3, CostCriterion::C4, CostCriterion::C3Floor] {
+            let cost = step_cost(c, w, &dests);
+            prop_assert!(cost.is_finite(), "{c} produced {cost}");
+        }
+        for d in &dests {
+            prop_assert!(cost_c1(w, *d).is_finite());
+        }
+    }
+
+    #[test]
+    fn single_destination_collapses_c2_and_c4_to_c1(
+        d in dest_strategy(),
+        w in weights_strategy(),
+    ) {
+        // With |Drq| = 1 and the destination satisfiable, the sums and the
+        // max all see exactly one value: C2 = C4 = C1.
+        prop_assume!(d.satisfiable);
+        let c1 = cost_c1(w, d);
+        prop_assert_eq!(step_cost(CostCriterion::C2, w, &[d]), c1);
+        prop_assert_eq!(step_cost(CostCriterion::C4, w, &[d]), c1);
+    }
+
+    #[test]
+    fn unsatisfiable_destinations_are_inert(
+        dests in prop::collection::vec(dest_strategy(), 0..8),
+        w in weights_strategy(),
+        arrival in 1_000u64..5_000,
+    ) {
+        // Appending a destination that misses its deadline changes no
+        // criterion ("that request receives no resources", §4.8).
+        let missed = dest(arrival, arrival - 1, 100);
+        prop_assert!(!missed.satisfiable);
+        let mut extended = dests.clone();
+        extended.push(missed);
+        for c in [CostCriterion::C2, CostCriterion::C3, CostCriterion::C4, CostCriterion::C3Floor] {
+            prop_assert_eq!(step_cost(c, w, &dests), step_cost(c, w, &extended), "{}", c);
+        }
+    }
+
+    #[test]
+    fn ratio_criteria_ignore_the_eu_weights(
+        dests in prop::collection::vec(dest_strategy(), 0..8),
+        wa in weights_strategy(),
+        wb in weights_strategy(),
+    ) {
+        for c in [CostCriterion::C3, CostCriterion::C3Floor] {
+            prop_assert_eq!(step_cost(c, wa, &dests), step_cost(c, wb, &dests));
+        }
+    }
+
+    #[test]
+    fn ratio_criteria_are_nonpositive_and_monotone_in_coverage(
+        dests in prop::collection::vec(dest_strategy(), 1..8),
+        extra in dest_strategy(),
+    ) {
+        let w = EuWeights::new(1.0, 1.0);
+        for c in [CostCriterion::C3, CostCriterion::C3Floor] {
+            let base = step_cost(c, w, &dests);
+            prop_assert!(base <= 0.0, "{c} must be a sum of non-positive terms");
+            // Adding any destination can only make the step more
+            // attractive (or leave it unchanged).
+            let mut extended = dests.clone();
+            extended.push(extra);
+            prop_assert!(step_cost(c, w, &extended) <= base);
+        }
+    }
+
+    #[test]
+    fn c1_prefers_heavier_priorities(
+        arrival in 0u64..4_000,
+        slack in 0u64..1_000,
+        w_low in 1u64..50,
+        bump in 1u64..50,
+        weights in weights_strategy(),
+    ) {
+        prop_assume!(weights.w_e > 0.0);
+        let deadline = arrival + slack;
+        let light = dest(arrival, deadline, w_low);
+        let heavy = dest(arrival, deadline, w_low + bump);
+        prop_assert!(cost_c1(weights, heavy) < cost_c1(weights, light));
+    }
+
+    #[test]
+    fn c1_prefers_tighter_deadlines_at_equal_priority(
+        arrival in 0u64..4_000,
+        slack in 0u64..1_000,
+        extra_slack in 1u64..1_000,
+        weight in 1u64..100,
+        weights in weights_strategy(),
+    ) {
+        prop_assume!(weights.w_u > 0.0);
+        let tight = dest(arrival, arrival + slack, weight);
+        let loose = dest(arrival, arrival + slack + extra_slack, weight);
+        prop_assert!(cost_c1(weights, tight) < cost_c1(weights, loose));
+    }
+
+    #[test]
+    fn c2_urgency_term_is_the_most_urgent_satisfiable(
+        dests in prop::collection::vec(dest_strategy(), 1..8),
+    ) {
+        // With W_E = 0 and W_U = 1, C2 equals the negated maximum urgency
+        // over satisfiable destinations (0 when none are satisfiable).
+        let w = EuWeights::new(0.0, 1.0);
+        let expected = -dests
+            .iter()
+            .filter(|d| d.satisfiable)
+            .map(|d| d.urgency)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let expected = if expected.is_finite() { expected } else { 0.0 };
+        prop_assert_eq!(step_cost(CostCriterion::C2, w, &dests), expected);
+    }
+
+    #[test]
+    fn c4_equals_sum_of_c1_terms(
+        dests in prop::collection::vec(dest_strategy(), 0..8),
+        w in weights_strategy(),
+    ) {
+        let sum: f64 = dests.iter().map(|d| cost_c1(w, *d)).sum();
+        let c4 = step_cost(CostCriterion::C4, w, &dests);
+        prop_assert!((c4 - sum).abs() <= 1e-9 * (1.0 + c4.abs()));
+    }
+}

@@ -1,0 +1,32 @@
+//! Diagnostic: where do the bounds and baselines sit on paper-scale
+//! scenarios? (Used to verify the workload is genuinely oversubscribed.)
+
+use dstage_core::prelude::*;
+use dstage_workload::{generate, GeneratorConfig};
+
+#[test]
+fn bounds_ordering_sanity() {
+    let w = PriorityWeights::paper_1_10_100();
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::paper(), seed);
+        let ub = upper_bound(&scenario, &w);
+        let ps = possible_satisfy(&scenario, &w);
+        let cfg = HeuristicConfig::paper_best();
+        let best = run(&scenario, Heuristic::FullPathOneDestination, &cfg);
+        let best_eval = best.schedule.evaluate(&scenario, &w);
+        let sdr = single_dijkstra_random(&scenario, seed);
+        let sdr_eval = sdr.schedule.evaluate(&scenario, &w);
+        let rd = random_dijkstra(&scenario, seed);
+        let rd_eval = rd.schedule.evaluate(&scenario, &w);
+        let pf = priority_first(&scenario, &w);
+        let pf_eval = pf.schedule.evaluate(&scenario, &w);
+        eprintln!(
+            "seed {seed}: ub={ub} possible={} full_one={} prio_first={} rand_dij={} single_dij={} (requests={} possible_n={})",
+            ps.weighted_sum, best_eval.weighted_sum, pf_eval.weighted_sum,
+            rd_eval.weighted_sum, sdr_eval.weighted_sum,
+            scenario.request_count(), ps.satisfiable.len(),
+        );
+        assert!(ps.weighted_sum <= ub);
+        assert!(best_eval.weighted_sum <= ps.weighted_sum);
+    }
+}

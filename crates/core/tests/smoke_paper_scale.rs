@@ -1,0 +1,28 @@
+//! Paper-scale smoke test: one full run of each heuristic on a generated
+//! scenario, with schedule validation.
+
+use dstage_core::prelude::*;
+use dstage_workload::{generate, GeneratorConfig};
+
+#[test]
+fn paper_scale_run_validates() {
+    let scenario = generate(&GeneratorConfig::paper(), 0);
+    let config = HeuristicConfig::paper_best();
+    for h in Heuristic::ALL {
+        let start = std::time::Instant::now();
+        let out = run(&scenario, h, &config);
+        let eval = out.schedule.evaluate(&scenario, &config.priority_weights);
+        eprintln!(
+            "{h}: weighted={} satisfied={}/{} dijkstra={} cachehits={} transfers={} in {:?}",
+            eval.weighted_sum,
+            eval.satisfied_count,
+            eval.request_count,
+            out.metrics.dijkstra_runs,
+            out.metrics.cache_hits,
+            out.metrics.transfers_committed,
+            start.elapsed()
+        );
+        out.schedule.validate(&scenario).expect("schedule must replay");
+        assert!(eval.weighted_sum > 0);
+    }
+}

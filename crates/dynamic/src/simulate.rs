@@ -1,0 +1,438 @@
+//! The online re-planning loop.
+//!
+//! The scheduler plans over the whole remaining horizon at every event
+//! boundary, exactly as the static heuristics do, but only the transfers
+//! that *start before the next event* are executed; everything later is a
+//! tentative plan that gets revised when new information arrives. This is
+//! the classic rolling-horizon / re-planning pattern and matches the
+//! paper's rationale for leaving stale partial paths in place: "in a
+//! dynamic situation, a change in the network could allow the request to
+//! be satisfied" (§4.5).
+//!
+//! Semantics of disturbances:
+//!
+//! * **Release** — a request is invisible to the scheduler before its
+//!   release (it receives no resources), but copies that happen to land
+//!   on its destination still satisfy it.
+//! * **Link outage** — the link's remaining capacity is gone; transfers
+//!   still in flight on it are lost (the receiving copy never appears).
+//! * **Copy loss** — copies present at the machine at the loss instant
+//!   vanish; transfers sourced from them afterwards fail, and a request
+//!   that had been delivered by a lost copy becomes pending again if its
+//!   deadline has not passed. A request counts as satisfied only if some
+//!   copy is at its destination by the deadline *and survives to the
+//!   deadline*.
+
+use std::collections::HashMap;
+
+use dstage_core::heuristic::{drive_state, Heuristic, HeuristicConfig};
+use dstage_core::schedule::{Delivery, Schedule, Transfer};
+use dstage_core::state::SchedulerState;
+use dstage_model::ids::{DataItemId, MachineId};
+use dstage_model::scenario::Scenario;
+use dstage_model::time::SimTime;
+use dstage_path::Hop;
+
+use crate::event::{EventKind, EventLog};
+
+/// Which heuristic the online scheduler re-plans with.
+#[derive(Debug, Clone)]
+pub struct OnlinePolicy {
+    /// The heuristic driven at each re-plan.
+    pub heuristic: Heuristic,
+    /// Its cost-criterion configuration.
+    pub config: HeuristicConfig,
+}
+
+impl OnlinePolicy {
+    /// The paper's best pairing (full path/one destination + C4).
+    #[must_use]
+    pub fn paper_best() -> Self {
+        OnlinePolicy {
+            heuristic: Heuristic::FullPathOneDestination,
+            config: HeuristicConfig::paper_best(),
+        }
+    }
+}
+
+/// The result of an online run.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// The transfers that actually executed (survived all events), plus
+    /// the final deliveries under the survival semantics.
+    pub executed: Schedule,
+    /// Transfers that were committed and later invalidated by an outage
+    /// or copy loss (wasted work — a key cost of operating online).
+    pub cancelled: Vec<Transfer>,
+    /// Number of planning passes (event boundaries, including time 0).
+    pub replans: u64,
+}
+
+/// Per-(item, machine) copy availability bookkeeping with loss events.
+struct CopyTracker<'a> {
+    avails: HashMap<(DataItemId, MachineId), Vec<SimTime>>,
+    losses: &'a [(DataItemId, MachineId, SimTime)],
+}
+
+impl<'a> CopyTracker<'a> {
+    fn new(scenario: &Scenario, losses: &'a [(DataItemId, MachineId, SimTime)]) -> Self {
+        let mut avails: HashMap<(DataItemId, MachineId), Vec<SimTime>> = HashMap::new();
+        for (item_id, item) in scenario.items() {
+            for src in item.sources() {
+                avails.entry((item_id, src.machine)).or_default().push(src.available_at);
+            }
+        }
+        CopyTracker { avails, losses }
+    }
+
+    fn add(&mut self, item: DataItemId, machine: MachineId, at: SimTime) {
+        self.avails.entry((item, machine)).or_default().push(at);
+    }
+
+    /// Whether a copy of `item` is present at `machine` at instant `at`:
+    /// some copy arrived no later than `at` and no loss hit the machine
+    /// between that arrival and `at` (inclusive).
+    fn present(&self, item: DataItemId, machine: MachineId, at: SimTime) -> bool {
+        let Some(avails) = self.avails.get(&(item, machine)) else { return false };
+        avails.iter().any(|&avail| {
+            avail <= at
+                && !self
+                    .losses
+                    .iter()
+                    .any(|&(i, m, tl)| i == item && m == machine && avail <= tl && tl <= at)
+        })
+    }
+
+    /// The earliest arrival that is still present at `until` (survival to
+    /// the deadline), if any.
+    fn earliest_surviving(
+        &self,
+        item: DataItemId,
+        machine: MachineId,
+        until: SimTime,
+    ) -> Option<SimTime> {
+        let avails = self.avails.get(&(item, machine))?;
+        avails
+            .iter()
+            .copied()
+            .filter(|&avail| {
+                avail <= until
+                    && !self
+                        .losses
+                        .iter()
+                        .any(|&(i, m, tl)| i == item && m == machine && avail <= tl && tl <= until)
+            })
+            .min()
+    }
+}
+
+/// Splits `kept` into transfers consistent with the disturbances so far
+/// and the ones invalidated by them (cascading: a transfer whose source
+/// copy came from an invalidated transfer is itself invalid).
+fn filter_consistent(
+    scenario: &Scenario,
+    mut kept: Vec<Transfer>,
+    outages: &[(dstage_model::ids::VirtualLinkId, SimTime)],
+    losses: &[(DataItemId, MachineId, SimTime)],
+) -> (Vec<Transfer>, Vec<Transfer>) {
+    kept.sort_by_key(|t| (t.start, t.arrival, t.link));
+    let mut tracker = CopyTracker::new(scenario, losses);
+    let mut valid = Vec::with_capacity(kept.len());
+    let mut cancelled = Vec::new();
+    for t in kept {
+        let link_down = outages.iter().any(|&(l, tl)| l == t.link && t.arrival > tl);
+        let source_ok = tracker.present(t.item, t.from, t.start);
+        if link_down || !source_ok {
+            cancelled.push(t);
+        } else {
+            tracker.add(t.item, t.to, t.arrival);
+            valid.push(t);
+        }
+    }
+    (valid, cancelled)
+}
+
+/// Final deliveries under the survival semantics, with hop depths for the
+/// links-traversed statistic.
+fn final_deliveries(
+    scenario: &Scenario,
+    kept: &[Transfer],
+    losses: &[(DataItemId, MachineId, SimTime)],
+) -> Vec<Delivery> {
+    let mut tracker = CopyTracker::new(scenario, losses);
+    let mut depth: HashMap<(DataItemId, MachineId, SimTime), u32> = HashMap::new();
+    let mut sorted: Vec<&Transfer> = kept.iter().collect();
+    sorted.sort_by_key(|t| (t.start, t.arrival, t.link));
+    for t in sorted {
+        let from_depth = depth.iter().filter_map(|(&(i, m, at), &d)| {
+            (i == t.item && m == t.from && at <= t.start).then_some(d)
+        });
+        let d = from_depth.min().unwrap_or(0) + 1;
+        depth.insert((t.item, t.to, t.arrival), d);
+        tracker.add(t.item, t.to, t.arrival);
+    }
+    let mut deliveries = Vec::new();
+    for (req_id, req) in scenario.requests() {
+        if let Some(at) = tracker.earliest_surviving(req.item(), req.destination(), req.deadline())
+        {
+            let hops = depth.get(&(req.item(), req.destination(), at)).copied().unwrap_or(0);
+            deliveries.push(Delivery { request: req_id, at, hops });
+        }
+    }
+    deliveries
+}
+
+fn hop_of(t: &Transfer) -> Hop {
+    Hop { from: t.from, to: t.to, link: t.link, start: t.start, arrival: t.arrival }
+}
+
+/// Runs the online simulation: re-plans at every event boundary and
+/// executes the plan between boundaries.
+///
+/// With an empty event log this is exactly one static run of the policy's
+/// heuristic.
+///
+/// # Panics
+///
+/// Panics on the full path/all destinations + `Cost₁` pairing (as for
+/// the static scheduler), and if an internal replay of already-executed
+/// transfers fails (a bug, not an input condition).
+#[must_use]
+pub fn simulate(scenario: &Scenario, events: &EventLog, policy: &OnlinePolicy) -> OnlineOutcome {
+    let releases = events.release_times(scenario);
+    let mut boundaries = vec![SimTime::ZERO];
+    boundaries.extend(events.boundaries());
+    boundaries.dedup();
+
+    let mut outages: Vec<(dstage_model::ids::VirtualLinkId, SimTime)> = Vec::new();
+    let mut losses: Vec<(DataItemId, MachineId, SimTime)> = Vec::new();
+    let mut kept: Vec<Transfer> = Vec::new();
+    let mut cancelled_total: Vec<Transfer> = Vec::new();
+    let mut replans = 0u64;
+
+    for (i, &now) in boundaries.iter().enumerate() {
+        // 1. Absorb this instant's events.
+        for e in events.events().iter().filter(|e| e.at == now) {
+            match e.kind {
+                EventKind::LinkOutage(l) => outages.push((l, now)),
+                EventKind::CopyLoss { item, machine } => losses.push((item, machine, now)),
+                EventKind::Release(_) => {} // releases handled via `releases`
+            }
+        }
+        // 2. Drop executed transfers the events invalidated (cascading).
+        let (valid, newly_cancelled) = filter_consistent(scenario, kept, &outages, &losses);
+        kept = valid;
+        cancelled_total.extend(newly_cancelled);
+
+        // 3. Rebuild scheduler state as of `now`.
+        let mut state = SchedulerState::with_caching(scenario, policy.config.caching);
+        for (r, &rel) in releases.iter().enumerate() {
+            if rel > now {
+                state.set_request_active(dstage_model::ids::RequestId::new(r as u32), false);
+            }
+        }
+        for t in &kept {
+            assert!(
+                state.try_commit_stale_hop(t.item, hop_of(t)),
+                "replay of an executed transfer failed: {t:?}"
+            );
+        }
+        let tracker = CopyTracker::new(scenario, &losses);
+        for &(item, machine, tl) in &losses {
+            state.remove_copies(item, machine, tl);
+            // A request delivered by a now-lost copy becomes pending again
+            // when its deadline is still ahead (the copy did not survive
+            // long enough to be used).
+            for &req_id in scenario.requests_for(item) {
+                let req = scenario.request(req_id);
+                if req.destination() == machine
+                    && tl <= req.deadline()
+                    && state.delivery_of(req_id).is_some_and(|d| d.at <= tl)
+                    && !tracker.present(item, machine, req.deadline())
+                {
+                    state.revoke_delivery(req_id);
+                }
+            }
+        }
+        for &(link, tl) in &outages {
+            state.apply_link_outage(link, tl);
+        }
+        state.block_past(now);
+
+        // 4. Re-plan over the remaining horizon.
+        drive_state(&mut state, policy.heuristic, &policy.config);
+        replans += 1;
+        let (plan, _) = state.into_outcome();
+
+        // 5. Execute the plan up to the next boundary; later transfers
+        //    stay tentative and will be re-planned.
+        let next = boundaries.get(i + 1).copied();
+        for t in plan.transfers() {
+            if kept.contains(t) {
+                continue; // a replayed, already-executed transfer
+            }
+            match next {
+                Some(boundary) if t.start >= boundary => {} // tentative
+                _ => kept.push(*t),
+            }
+        }
+    }
+
+    let deliveries = final_deliveries(scenario, &kept, &losses);
+    OnlineOutcome {
+        executed: Schedule::from_parts(kept, deliveries),
+        cancelled: cancelled_total,
+        replans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use dstage_core::heuristic::run;
+    use dstage_model::ids::{RequestId, VirtualLinkId};
+    use dstage_workload::small::{contended_link, fan_out, two_hop_chain};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_event_log_matches_static_run() {
+        let scenario = two_hop_chain();
+        let policy = OnlinePolicy::paper_best();
+        let log = EventLog::new(&scenario, vec![]).unwrap();
+        let online = simulate(&scenario, &log, &policy);
+        let offline = run(&scenario, policy.heuristic, &policy.config);
+        assert_eq!(online.executed.transfers(), offline.schedule.transfers());
+        assert_eq!(online.replans, 1);
+        assert!(online.cancelled.is_empty());
+        assert_eq!(online.executed.deliveries().len(), offline.schedule.deliveries().len());
+    }
+
+    #[test]
+    fn late_release_still_gets_satisfied() {
+        let scenario = two_hop_chain();
+        let policy = OnlinePolicy::paper_best();
+        // Release the m2 request for item 0 only after 2 minutes; its
+        // deadline (45 min) leaves plenty of slack to re-plan.
+        let log = EventLog::new(
+            &scenario,
+            vec![Event::new(t(120), EventKind::Release(RequestId::new(1)))],
+        )
+        .unwrap();
+        let outcome = simulate(&scenario, &log, &policy);
+        assert!(outcome.executed.delivery_of(RequestId::new(1)).is_some());
+        assert_eq!(outcome.replans, 2);
+    }
+
+    #[test]
+    fn outage_before_start_loses_everything_downstream() {
+        let scenario = two_hop_chain();
+        let policy = OnlinePolicy::paper_best();
+        // Kill the only first-hop link at t=1s — before any useful volume
+        // moved; everything becomes unsatisfiable except what got through.
+        let log = EventLog::new(
+            &scenario,
+            vec![Event::new(t(1), EventKind::LinkOutage(VirtualLinkId::new(0)))],
+        )
+        .unwrap();
+        let outcome = simulate(&scenario, &log, &policy);
+        // First transfer (10 s) was in flight at t=1 and is lost.
+        assert!(outcome.executed.deliveries().is_empty());
+        assert!(!outcome.cancelled.is_empty(), "in-flight transfer must be cancelled");
+    }
+
+    #[test]
+    fn outage_after_completion_changes_nothing() {
+        let scenario = two_hop_chain();
+        let policy = OnlinePolicy::paper_best();
+        // The chain finishes well within 5 minutes; an outage at 30 min is
+        // irrelevant.
+        let log = EventLog::new(
+            &scenario,
+            vec![Event::new(SimTime::from_mins(30), EventKind::LinkOutage(VirtualLinkId::new(0)))],
+        )
+        .unwrap();
+        let online = simulate(&scenario, &log, &policy);
+        let offline = run(&scenario, policy.heuristic, &policy.config);
+        assert_eq!(online.executed.deliveries().len(), offline.schedule.deliveries().len());
+        assert!(online.cancelled.is_empty());
+    }
+
+    #[test]
+    fn copy_loss_at_destination_triggers_redelivery() {
+        let scenario = fan_out();
+        let policy = OnlinePolicy::paper_best();
+        // d1 (machine 2) receives item 0 early (~20 s); lose that copy at
+        // t=60 s. Deadline is 30 min: the scheduler must redeliver from
+        // the hub's retained intermediate copy (γ retention, §4.4).
+        let log = EventLog::new(
+            &scenario,
+            vec![Event::new(
+                t(60),
+                EventKind::CopyLoss {
+                    item: DataItemId::new(0),
+                    machine: MachineId::new(2),
+                },
+            )],
+        )
+        .unwrap();
+        let outcome = simulate(&scenario, &log, &policy);
+        let delivery = outcome
+            .executed
+            .delivery_of(RequestId::new(0))
+            .expect("request must be re-satisfied after the loss");
+        assert!(delivery.at > t(60), "the surviving delivery must postdate the loss");
+        // Both transfers into machine 2 executed: the first moved real
+        // bits (the loss hit the copy afterwards, not the transfer), and
+        // the re-delivery followed. Nothing was cancelled mid-flight.
+        let into_d1 = outcome
+            .executed
+            .transfers()
+            .iter()
+            .filter(|tr| tr.item == DataItemId::new(0) && tr.to == MachineId::new(2))
+            .count();
+        assert_eq!(into_d1, 2, "original delivery + re-delivery both executed");
+        assert!(outcome.cancelled.is_empty(), "no transfer was in flight at the loss");
+    }
+
+    #[test]
+    fn copy_loss_after_deadline_keeps_delivery() {
+        let scenario = fan_out();
+        let policy = OnlinePolicy::paper_best();
+        // Deadline 30 min; lose the copy at 40 min: the data was there
+        // when it mattered.
+        let log = EventLog::new(
+            &scenario,
+            vec![Event::new(
+                SimTime::from_mins(40),
+                EventKind::CopyLoss {
+                    item: DataItemId::new(0),
+                    machine: MachineId::new(2),
+                },
+            )],
+        )
+        .unwrap();
+        let outcome = simulate(&scenario, &log, &policy);
+        assert!(outcome.executed.delivery_of(RequestId::new(0)).is_some());
+    }
+
+    #[test]
+    fn online_never_claims_more_than_offline_bounds() {
+        use dstage_core::bounds::upper_bound;
+        use dstage_model::request::PriorityWeights;
+        let scenario = contended_link();
+        let policy = OnlinePolicy::paper_best();
+        let log = EventLog::new(
+            &scenario,
+            vec![Event::new(t(5), EventKind::LinkOutage(VirtualLinkId::new(0)))],
+        )
+        .unwrap();
+        let outcome = simulate(&scenario, &log, &policy);
+        let w = PriorityWeights::paper_1_10_100();
+        let eval = outcome.executed.evaluate(&scenario, &w);
+        assert!(eval.weighted_sum <= upper_bound(&scenario, &w));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the online simulator: random disturbance
+//! mixes over small scenarios must preserve the core invariants.
+
+use dstage_core::schedule::Transfer;
+use dstage_dynamic::{simulate, Event, EventKind, EventLog, OnlinePolicy};
+use dstage_model::ids::{DataItemId, MachineId, RequestId, VirtualLinkId};
+use dstage_model::time::SimTime;
+use dstage_workload::small::{contended_link, fan_out, two_hop_chain};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum WhichScenario {
+    Chain,
+    Contended,
+    FanOut,
+}
+
+fn scenario_for(which: WhichScenario) -> dstage_model::scenario::Scenario {
+    match which {
+        WhichScenario::Chain => two_hop_chain(),
+        WhichScenario::Contended => contended_link(),
+        WhichScenario::FanOut => fan_out(),
+    }
+}
+
+fn which_strategy() -> impl Strategy<Value = WhichScenario> {
+    prop_oneof![
+        Just(WhichScenario::Chain),
+        Just(WhichScenario::Contended),
+        Just(WhichScenario::FanOut),
+    ]
+}
+
+/// Random events with ids clamped into the scenario's ranges.
+fn events_for(
+    scenario: &dstage_model::scenario::Scenario,
+    raw: &[(u64, u8, usize, usize)],
+) -> EventLog {
+    let mut released = vec![false; scenario.request_count()];
+    let mut events = Vec::new();
+    for &(at_s, kind, a, b) in raw {
+        let at = SimTime::from_secs(at_s % 3_600);
+        match kind % 3 {
+            0 if scenario.request_count() > 0 => {
+                let r = RequestId::new((a % scenario.request_count()) as u32);
+                if !released[r.index()] {
+                    released[r.index()] = true;
+                    events.push(Event::new(at, EventKind::Release(r)));
+                }
+            }
+            1 if scenario.network().link_count() > 0 => {
+                let l = VirtualLinkId::new((a % scenario.network().link_count()) as u32);
+                events.push(Event::new(at, EventKind::LinkOutage(l)));
+            }
+            2 if scenario.item_count() > 0 => {
+                let item = DataItemId::new((a % scenario.item_count()) as u32);
+                let machine =
+                    MachineId::new((b % scenario.network().machine_count()) as u32);
+                events.push(Event::new(at, EventKind::CopyLoss { item, machine }));
+            }
+            _ => {}
+        }
+    }
+    EventLog::new(scenario, events).expect("ids clamped into range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn executed_schedules_always_replay(
+        which in which_strategy(),
+        raw in prop::collection::vec((0u64..3_600, 0u8..3, 0usize..64, 0usize..64), 0..10),
+    ) {
+        let scenario = scenario_for(which);
+        let log = events_for(&scenario, &raw);
+        let outcome = simulate(&scenario, &log, &OnlinePolicy::paper_best());
+        // Every executed transfer respects the model on the original
+        // network (outages only removed capacity).
+        outcome.executed.validate(&scenario).expect("executed schedule must replay");
+    }
+
+    #[test]
+    fn cancelled_and_executed_partition_commits(
+        which in which_strategy(),
+        raw in prop::collection::vec((0u64..3_600, 0u8..3, 0usize..64, 0usize..64), 0..10),
+    ) {
+        let scenario = scenario_for(which);
+        let log = events_for(&scenario, &raw);
+        let outcome = simulate(&scenario, &log, &OnlinePolicy::paper_best());
+        let executed: Vec<&Transfer> = outcome.executed.transfers().iter().collect();
+        for c in &outcome.cancelled {
+            prop_assert!(!executed.contains(&c), "transfer in both sets: {c:?}");
+        }
+        // No duplicate executed transfers.
+        for (i, a) in executed.iter().enumerate() {
+            for b in &executed[i + 1..] {
+                prop_assert_ne!(*a, *b, "duplicate executed transfer");
+            }
+        }
+    }
+
+    #[test]
+    fn replans_equal_boundaries(
+        which in which_strategy(),
+        raw in prop::collection::vec((0u64..3_600, 0u8..3, 0usize..64, 0usize..64), 0..10),
+    ) {
+        let scenario = scenario_for(which);
+        let log = events_for(&scenario, &raw);
+        let outcome = simulate(&scenario, &log, &OnlinePolicy::paper_best());
+        let mut expected = 1 + log.boundaries().len() as u64;
+        if log.boundaries().first() == Some(&SimTime::ZERO) {
+            expected -= 1; // time-0 events merge into the initial plan
+        }
+        prop_assert_eq!(outcome.replans, expected);
+    }
+
+    #[test]
+    fn deliveries_meet_deadlines_and_are_unique(
+        which in which_strategy(),
+        raw in prop::collection::vec((0u64..3_600, 0u8..3, 0usize..64, 0usize..64), 0..10),
+    ) {
+        let scenario = scenario_for(which);
+        let log = events_for(&scenario, &raw);
+        let outcome = simulate(&scenario, &log, &OnlinePolicy::paper_best());
+        let mut seen = std::collections::HashSet::new();
+        for d in outcome.executed.deliveries() {
+            let req = scenario.request(d.request);
+            prop_assert!(d.at <= req.deadline());
+            prop_assert!(seen.insert(d.request), "request delivered twice");
+        }
+    }
+}

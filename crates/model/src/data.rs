@@ -1,0 +1,134 @@
+//! Data items and their initial source locations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::MachineId;
+use crate::time::SimTime;
+use crate::units::Bytes;
+
+/// One initial source location of a data item: the machine `Source[i,j]`
+/// and the time `δst[i,j]` after which the item is available there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataSource {
+    /// Machine holding the initial copy.
+    pub machine: MachineId,
+    /// Time at which the copy becomes available (`δst`).
+    pub available_at: SimTime,
+}
+
+impl DataSource {
+    /// Creates a source location.
+    #[must_use]
+    pub fn new(machine: MachineId, available_at: SimTime) -> Self {
+        DataSource { machine, available_at }
+    }
+}
+
+/// A named data item `δ[i]`: a block of information with a size and one or
+/// more initial source locations.
+///
+/// # Examples
+///
+/// ```
+/// use dstage_model::data::{DataItem, DataSource};
+/// use dstage_model::ids::MachineId;
+/// use dstage_model::time::SimTime;
+/// use dstage_model::units::Bytes;
+///
+/// let item = DataItem::new(
+///     "weather-map-eu-1400z",
+///     Bytes::from_mib(12),
+///     vec![DataSource::new(MachineId::new(0), SimTime::from_mins(5))],
+/// );
+/// assert_eq!(item.sources().len(), 1);
+/// assert_eq!(item.earliest_availability(), Some(SimTime::from_mins(5)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataItem {
+    name: String,
+    size: Bytes,
+    sources: Vec<DataSource>,
+}
+
+impl DataItem {
+    /// Creates a data item.
+    ///
+    /// The unique-name invariant across items (`δ[i]` are distinct) is
+    /// enforced at scenario level, not here. An item may temporarily have
+    /// zero sources while a scenario is being assembled, but scenario
+    /// validation rejects requested items without sources.
+    #[must_use]
+    pub fn new(name: impl Into<String>, size: Bytes, sources: Vec<DataSource>) -> Self {
+        DataItem { name: name.into(), size, sources }
+    }
+
+    /// The item's unique name (identifier).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The item's size `|d|`.
+    #[must_use]
+    pub fn size(&self) -> Bytes {
+        self.size
+    }
+
+    /// The initial source locations (`Source[i, 0..Nδ[i]]`).
+    #[must_use]
+    pub fn sources(&self) -> &[DataSource] {
+        &self.sources
+    }
+
+    /// The earliest time the item is available anywhere, or `None` if the
+    /// item has no sources.
+    #[must_use]
+    pub fn earliest_availability(&self) -> Option<SimTime> {
+        self.sources.iter().map(|s| s.available_at).min()
+    }
+
+    /// Whether `machine` is one of the item's initial sources.
+    #[must_use]
+    pub fn has_source(&self, machine: MachineId) -> bool {
+        self.sources.iter().any(|s| s.machine == machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item() -> DataItem {
+        DataItem::new(
+            "d",
+            Bytes::from_kib(64),
+            vec![
+                DataSource::new(MachineId::new(3), SimTime::from_mins(10)),
+                DataSource::new(MachineId::new(1), SimTime::from_mins(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let it = item();
+        assert_eq!(it.name(), "d");
+        assert_eq!(it.size(), Bytes::from_kib(64));
+        assert_eq!(it.sources().len(), 2);
+    }
+
+    #[test]
+    fn earliest_availability_is_min_over_sources() {
+        assert_eq!(item().earliest_availability(), Some(SimTime::from_mins(2)));
+        let empty = DataItem::new("x", Bytes::ZERO, vec![]);
+        assert_eq!(empty.earliest_availability(), None);
+    }
+
+    #[test]
+    fn has_source_checks_membership() {
+        let it = item();
+        assert!(it.has_source(MachineId::new(1)));
+        assert!(it.has_source(MachineId::new(3)));
+        assert!(!it.has_source(MachineId::new(0)));
+    }
+}

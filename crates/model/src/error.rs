@@ -1,0 +1,117 @@
+//! Scenario validation errors.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::ids::{DataItemId, MachineId, RequestId};
+
+/// Reasons a scenario fails validation (paper §3 invariants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// Two data items share a name; names are the items' identifiers.
+    DuplicateItemName {
+        /// The offending name.
+        name: String,
+        /// The first item with the name.
+        first: DataItemId,
+        /// The second item with the name.
+        second: DataItemId,
+    },
+    /// A request references an item id outside the item table.
+    UnknownItem {
+        /// The offending request.
+        request: RequestId,
+        /// The out-of-range item id.
+        item: DataItemId,
+    },
+    /// A request or source references a machine outside the network.
+    UnknownMachine {
+        /// The out-of-range machine id.
+        machine: MachineId,
+        /// Where it was referenced.
+        context: &'static str,
+    },
+    /// A requested item has no initial sources (it cannot exist anywhere).
+    RequestedItemWithoutSources {
+        /// The item lacking sources.
+        item: DataItemId,
+    },
+    /// A machine both holds the item initially and requests it
+    /// (`V_S[i] ∩ V_D[i] = ∅` is assumed by the model).
+    SourceIsDestination {
+        /// The offending request.
+        request: RequestId,
+        /// The machine that is both source and destination.
+        machine: MachineId,
+    },
+    /// The same machine requests the same item twice ("a given machine
+    /// generates at most one request for a given data item").
+    DuplicateRequest {
+        /// The first request.
+        first: RequestId,
+        /// The duplicate.
+        second: RequestId,
+    },
+    /// An item lists the same machine as a source twice.
+    DuplicateSource {
+        /// The item with the duplicated source.
+        item: DataItemId,
+        /// The machine listed twice.
+        machine: MachineId,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::DuplicateItemName { name, first, second } => {
+                write!(f, "data items {first} and {second} share the name {name:?}")
+            }
+            ScenarioError::UnknownItem { request, item } => {
+                write!(f, "request {request} references unknown data item {item}")
+            }
+            ScenarioError::UnknownMachine { machine, context } => {
+                write!(f, "{context} references unknown machine {machine}")
+            }
+            ScenarioError::RequestedItemWithoutSources { item } => {
+                write!(f, "requested data item {item} has no initial sources")
+            }
+            ScenarioError::SourceIsDestination { request, machine } => {
+                write!(f, "request {request}: machine {machine} is both source and destination")
+            }
+            ScenarioError::DuplicateRequest { first, second } => {
+                write!(f, "requests {first} and {second} are duplicates (same item, same machine)")
+            }
+            ScenarioError::DuplicateSource { item, machine } => {
+                write!(f, "data item {item} lists machine {machine} as a source twice")
+            }
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ScenarioError::RequestedItemWithoutSources { item: DataItemId::new(3) };
+        assert_eq!(e.to_string(), "requested data item d3 has no initial sources");
+        let e = ScenarioError::SourceIsDestination {
+            request: RequestId::new(1),
+            machine: MachineId::new(2),
+        };
+        assert!(e.to_string().contains("R1"));
+        assert!(e.to_string().contains("M2"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        let e = ScenarioError::UnknownMachine { machine: MachineId::new(9), context: "request" };
+        takes_err(&e);
+    }
+}

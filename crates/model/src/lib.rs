@@ -1,0 +1,65 @@
+//! Model types for the *data staging* problem of Theys, Tan, Beck, Siegel,
+//! and Jurczyk, "Scheduling Heuristics for Data Requests in an
+//! Oversubscribed Network with Priorities and Deadlines" (ICDCS 2000),
+//! Section 3.
+//!
+//! The model describes a communication system of machines with finite
+//! storage, connected by unidirectional *virtual links* (time-windowed,
+//! bandwidth-limited), over which named *data items* must be staged from
+//! their initial source machines to requesting destination machines before
+//! per-request deadlines, each request carrying a priority weight.
+//!
+//! # Examples
+//!
+//! Build a two-machine scenario with one request:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use dstage_model::prelude::*;
+//!
+//! let mut b = NetworkBuilder::new();
+//! let hq = b.add_machine(Machine::new("hq", Bytes::from_gib(1)));
+//! let field = b.add_machine(Machine::new("field", Bytes::from_mib(64)));
+//! b.add_link(VirtualLink::new(hq, field, SimTime::ZERO,
+//!     SimTime::from_hours(1), BitsPerSec::from_kbps(512)));
+//! b.add_link(VirtualLink::new(field, hq, SimTime::ZERO,
+//!     SimTime::from_hours(1), BitsPerSec::from_kbps(512)));
+//!
+//! let scenario = Scenario::builder(b.build())
+//!     .add_item(DataItem::new("terrain-map", Bytes::from_mib(5),
+//!         vec![DataSource::new(hq, SimTime::ZERO)]))
+//!     .add_request(Request::new(DataItemId::new(0), field,
+//!         SimTime::from_mins(45), Priority::HIGH))
+//!     .build()?;
+//! assert!(scenario.network().is_strongly_connected());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod error;
+pub mod ids;
+pub mod link;
+pub mod machine;
+pub mod network;
+pub mod request;
+pub mod scenario;
+pub mod time;
+pub mod units;
+
+/// Convenience re-exports of the model vocabulary.
+pub mod prelude {
+    pub use crate::data::{DataItem, DataSource};
+    pub use crate::error::ScenarioError;
+    pub use crate::ids::{DataItemId, MachineId, RequestId, VirtualLinkId};
+    pub use crate::link::VirtualLink;
+    pub use crate::machine::Machine;
+    pub use crate::network::{Network, NetworkBuilder};
+    pub use crate::request::{Priority, PriorityWeights, Request};
+    pub use crate::scenario::{Scenario, ScenarioBuilder};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::units::{BitsPerSec, Bytes};
+}

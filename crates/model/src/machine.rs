@@ -1,0 +1,79 @@
+//! Machines (network nodes).
+//!
+//! Every machine in the model can simultaneously be a *server* holding
+//! initial copies of data items, an *intermediate* staging node, and a
+//! *client* destination — the roles are determined by the data-location and
+//! request tables, not by the machine itself (paper §3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::MachineId;
+use crate::units::Bytes;
+
+/// A machine `M[i]`: a node with finite storage capacity.
+///
+/// # Examples
+///
+/// ```
+/// use dstage_model::machine::Machine;
+/// use dstage_model::units::Bytes;
+///
+/// let m = Machine::new("forward-base", Bytes::from_gib(2));
+/// assert_eq!(m.name(), "forward-base");
+/// assert_eq!(m.capacity(), Bytes::from_gib(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    name: String,
+    capacity: Bytes,
+}
+
+impl Machine {
+    /// Creates a machine with a human-readable name and a storage capacity
+    /// (the paper's `Cap[i]`; the ledger tracks its time-varying remainder).
+    #[must_use]
+    pub fn new(name: impl Into<String>, capacity: Bytes) -> Self {
+        Machine { name: name.into(), capacity }
+    }
+
+    /// The machine's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The total storage capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+}
+
+/// A machine together with its id, as yielded by
+/// [`crate::network::Network::machines`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineRef<'a> {
+    /// The machine's id within its network.
+    pub id: MachineId,
+    /// The machine's static description.
+    pub machine: &'a Machine,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_exposes_name_and_capacity() {
+        let m = Machine::new("hq", Bytes::from_mib(10));
+        assert_eq!(m.name(), "hq");
+        assert_eq!(m.capacity(), Bytes::from_mib(10));
+    }
+
+    #[test]
+    fn machine_accepts_owned_and_borrowed_names() {
+        let a = Machine::new(String::from("x"), Bytes::ZERO);
+        let b = Machine::new("x", Bytes::ZERO);
+        assert_eq!(a, b);
+    }
+}

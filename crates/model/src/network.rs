@@ -1,0 +1,431 @@
+//! The network topology graph `G_nt`.
+//!
+//! A [`Network`] owns the machines and the virtual links and provides the
+//! adjacency views the path-finding layer needs. Connectivity utilities
+//! (strong connectivity via Tarjan's algorithm) operate on the *static*
+//! graph — the union of all virtual links, ignoring time windows — which is
+//! the sense in which the paper's generator guarantees strong connectivity.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{MachineId, VirtualLinkId};
+use crate::link::VirtualLink;
+use crate::machine::{Machine, MachineRef};
+
+/// The communication system: machines plus virtual links, with adjacency
+/// indexes for efficient traversal.
+///
+/// # Examples
+///
+/// ```
+/// use dstage_model::network::NetworkBuilder;
+/// use dstage_model::machine::Machine;
+/// use dstage_model::link::VirtualLink;
+/// use dstage_model::units::{Bytes, BitsPerSec};
+/// use dstage_model::time::SimTime;
+///
+/// let mut b = NetworkBuilder::new();
+/// let a = b.add_machine(Machine::new("a", Bytes::from_mib(10)));
+/// let c = b.add_machine(Machine::new("c", Bytes::from_mib(10)));
+/// b.add_link(VirtualLink::new(a, c, SimTime::ZERO, SimTime::from_hours(1),
+///     BitsPerSec::from_kbps(56)));
+/// b.add_link(VirtualLink::new(c, a, SimTime::ZERO, SimTime::from_hours(1),
+///     BitsPerSec::from_kbps(56)));
+/// let net = b.build();
+/// assert_eq!(net.machine_count(), 2);
+/// assert!(net.is_strongly_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    machines: Vec<Machine>,
+    links: Vec<VirtualLink>,
+    /// Outgoing virtual links per machine, sorted by id.
+    out_links: Vec<Vec<VirtualLinkId>>,
+    /// Incoming virtual links per machine, sorted by id.
+    in_links: Vec<Vec<VirtualLinkId>>,
+}
+
+impl Network {
+    /// Number of machines `m`.
+    #[must_use]
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of virtual links (directed edges of `G_nt`).
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Looks up a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this network.
+    #[must_use]
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.index()]
+    }
+
+    /// Looks up a virtual link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this network.
+    #[must_use]
+    pub fn link(&self, id: VirtualLinkId) -> &VirtualLink {
+        &self.links[id.index()]
+    }
+
+    /// Iterates over all machines with their ids.
+    pub fn machines(&self) -> impl Iterator<Item = MachineRef<'_>> + '_ {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| MachineRef { id: MachineId::new(i as u32), machine: m })
+    }
+
+    /// Iterates over all machine ids.
+    pub fn machine_ids(&self) -> impl Iterator<Item = MachineId> + 'static {
+        (0..self.machines.len() as u32).map(MachineId::new)
+    }
+
+    /// Iterates over all virtual links with their ids.
+    pub fn links(&self) -> impl Iterator<Item = (VirtualLinkId, &VirtualLink)> + '_ {
+        self.links.iter().enumerate().map(|(i, l)| (VirtualLinkId::new(i as u32), l))
+    }
+
+    /// The ids of virtual links leaving `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this network.
+    #[must_use]
+    pub fn outgoing(&self, machine: MachineId) -> &[VirtualLinkId] {
+        &self.out_links[machine.index()]
+    }
+
+    /// The ids of virtual links arriving at `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this network.
+    #[must_use]
+    pub fn incoming(&self, machine: MachineId) -> &[VirtualLinkId] {
+        &self.in_links[machine.index()]
+    }
+
+    /// The distinct machines directly reachable from `machine` through at
+    /// least one virtual link (the *outbound degree* neighbours of §5.3).
+    #[must_use]
+    pub fn neighbors(&self, machine: MachineId) -> Vec<MachineId> {
+        let set: BTreeSet<MachineId> =
+            self.outgoing(machine).iter().map(|&l| self.link(l).destination()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Whether the static graph (union of all virtual links) is strongly
+    /// connected: every machine can reach every other machine through some
+    /// sequence of physical transmission links.
+    ///
+    /// The empty network and the single-machine network count as strongly
+    /// connected.
+    #[must_use]
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.machine_count();
+        if n <= 1 {
+            return true;
+        }
+        self.strongly_connected_components().len() == 1
+    }
+
+    /// Tarjan's strongly-connected-components algorithm on the static graph.
+    ///
+    /// Components are returned in reverse topological order (Tarjan's
+    /// natural output order); each component lists its machines in the order
+    /// they were popped.
+    #[must_use]
+    pub fn strongly_connected_components(&self) -> Vec<Vec<MachineId>> {
+        // Iterative Tarjan to avoid recursion limits (irrelevant at m<=12,
+        // but the routine is also used by tests on larger synthetic graphs).
+        const UNVISITED: usize = usize::MAX;
+        let n = self.machine_count();
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components = Vec::new();
+
+        // Explicit DFS state: (node, next-neighbour-cursor).
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        // Pre-resolve neighbour lists as machine indices.
+        let succ: Vec<Vec<usize>> = (0..n)
+            .map(|u| {
+                let mut s: Vec<usize> = self.out_links[u]
+                    .iter()
+                    .map(|&l| self.link(l).destination().index())
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+
+        for start in 0..n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            work.push((start, 0));
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+                if *cursor < succ[v].len() {
+                    let w = succ[v][*cursor];
+                    *cursor += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(MachineId::new(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+/// Incremental constructor for [`Network`].
+///
+/// Machines must be added before links that reference them; `build`
+/// validates every link endpoint.
+#[derive(Debug, Default, Clone)]
+pub struct NetworkBuilder {
+    machines: Vec<Machine>,
+    links: Vec<VirtualLink>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        NetworkBuilder::default()
+    }
+
+    /// Adds a machine and returns its id.
+    pub fn add_machine(&mut self, machine: Machine) -> MachineId {
+        let id = MachineId::new(self.machines.len() as u32);
+        self.machines.push(machine);
+        id
+    }
+
+    /// Adds a virtual link and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been added yet.
+    pub fn add_link(&mut self, link: VirtualLink) -> VirtualLinkId {
+        let m = self.machines.len();
+        assert!(
+            link.source().index() < m && link.destination().index() < m,
+            "link endpoints must refer to machines already added to the builder"
+        );
+        let id = VirtualLinkId::new(self.links.len() as u32);
+        self.links.push(link);
+        id
+    }
+
+    /// Number of machines added so far.
+    #[must_use]
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Finalizes the network, computing adjacency indexes.
+    #[must_use]
+    pub fn build(self) -> Network {
+        let n = self.machines.len();
+        let mut out_links = vec![Vec::new(); n];
+        let mut in_links = vec![Vec::new(); n];
+        for (i, link) in self.links.iter().enumerate() {
+            let id = VirtualLinkId::new(i as u32);
+            out_links[link.source().index()].push(id);
+            in_links[link.destination().index()].push(id);
+        }
+        Network { machines: self.machines, links: self.links, out_links, in_links }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::units::{BitsPerSec, Bytes};
+
+    fn quick_link(a: u32, b: u32) -> VirtualLink {
+        VirtualLink::new(
+            MachineId::new(a),
+            MachineId::new(b),
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            BitsPerSec::from_kbps(56),
+        )
+    }
+
+    fn machines(b: &mut NetworkBuilder, count: usize) {
+        for i in 0..count {
+            b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(100)));
+        }
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_machine(Machine::new("a", Bytes::ZERO));
+        let c = b.add_machine(Machine::new("c", Bytes::ZERO));
+        assert_eq!(a, MachineId::new(0));
+        assert_eq!(c, MachineId::new(1));
+        let l0 = b.add_link(quick_link(0, 1));
+        let l1 = b.add_link(quick_link(1, 0));
+        assert_eq!(l0, VirtualLinkId::new(0));
+        assert_eq!(l1, VirtualLinkId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already added")]
+    fn builder_rejects_dangling_link() {
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 1);
+        b.add_link(quick_link(0, 3));
+    }
+
+    #[test]
+    fn adjacency_indexes_out_and_in() {
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 3);
+        b.add_link(quick_link(0, 1));
+        b.add_link(quick_link(0, 2));
+        b.add_link(quick_link(1, 2));
+        let net = b.build();
+        assert_eq!(net.outgoing(MachineId::new(0)).len(), 2);
+        assert_eq!(net.outgoing(MachineId::new(1)).len(), 1);
+        assert_eq!(net.outgoing(MachineId::new(2)).len(), 0);
+        assert_eq!(net.incoming(MachineId::new(2)).len(), 2);
+        assert_eq!(net.incoming(MachineId::new(0)).len(), 0);
+    }
+
+    #[test]
+    fn neighbors_deduplicates_parallel_virtual_links() {
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 2);
+        // Two virtual links over the same physical pair.
+        b.add_link(quick_link(0, 1));
+        b.add_link(quick_link(0, 1));
+        let net = b.build();
+        assert_eq!(net.neighbors(MachineId::new(0)), vec![MachineId::new(1)]);
+    }
+
+    #[test]
+    fn two_cycle_is_strongly_connected() {
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 2);
+        b.add_link(quick_link(0, 1));
+        b.add_link(quick_link(1, 0));
+        assert!(b.build().is_strongly_connected());
+    }
+
+    #[test]
+    fn one_way_pair_is_not_strongly_connected() {
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 2);
+        b.add_link(quick_link(0, 1));
+        let net = b.build();
+        assert!(!net.is_strongly_connected());
+        assert_eq!(net.strongly_connected_components().len(), 2);
+    }
+
+    #[test]
+    fn trivial_networks_are_strongly_connected() {
+        let b = NetworkBuilder::new();
+        assert!(b.build().is_strongly_connected());
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 1);
+        assert!(b.build().is_strongly_connected());
+    }
+
+    #[test]
+    fn tarjan_finds_two_components_with_bridge() {
+        // {0,1} strongly connected, {2,3} strongly connected, bridge 1->2.
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 4);
+        b.add_link(quick_link(0, 1));
+        b.add_link(quick_link(1, 0));
+        b.add_link(quick_link(2, 3));
+        b.add_link(quick_link(3, 2));
+        b.add_link(quick_link(1, 2));
+        let net = b.build();
+        let mut comps: Vec<Vec<usize>> = net
+            .strongly_connected_components()
+            .into_iter()
+            .map(|c| {
+                let mut v: Vec<usize> = c.into_iter().map(MachineId::index).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn tarjan_handles_long_cycle() {
+        let n = 50;
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, n);
+        for i in 0..n as u32 {
+            b.add_link(quick_link(i, (i + 1) % n as u32));
+        }
+        let net = b.build();
+        assert!(net.is_strongly_connected());
+        assert_eq!(net.strongly_connected_components().len(), 1);
+    }
+
+    #[test]
+    fn machines_iterator_pairs_ids() {
+        let mut b = NetworkBuilder::new();
+        machines(&mut b, 3);
+        let net = b.build();
+        let names: Vec<(usize, String)> =
+            net.machines().map(|r| (r.id.index(), r.machine.name().to_string())).collect();
+        assert_eq!(names, vec![(0, "m0".into()), (1, "m1".into()), (2, "m2".into())]);
+    }
+}

@@ -1,0 +1,501 @@
+//! A complete data staging problem instance.
+//!
+//! A [`Scenario`] bundles the network, the data-location table (items with
+//! sources), the data-request table, the garbage-collection delay `γ`, and
+//! the scheduling horizon, and validates the paper's §3 invariants.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataItem;
+use crate::error::ScenarioError;
+use crate::ids::{DataItemId, MachineId, RequestId};
+use crate::network::Network;
+use crate::request::Request;
+use crate::time::{SimDuration, SimTime};
+
+/// A validated data staging problem instance.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use dstage_model::prelude::*;
+///
+/// let mut b = NetworkBuilder::new();
+/// let src = b.add_machine(Machine::new("src", Bytes::from_mib(64)));
+/// let dst = b.add_machine(Machine::new("dst", Bytes::from_mib(64)));
+/// b.add_link(VirtualLink::new(src, dst, SimTime::ZERO, SimTime::from_hours(1),
+///     BitsPerSec::from_kbps(128)));
+/// b.add_link(VirtualLink::new(dst, src, SimTime::ZERO, SimTime::from_hours(1),
+///     BitsPerSec::from_kbps(128)));
+///
+/// let item = DataItem::new("map", Bytes::from_kib(100),
+///     vec![DataSource::new(src, SimTime::ZERO)]);
+/// let scenario = Scenario::builder(b.build())
+///     .add_item(item)
+///     .add_request(Request::new(DataItemId::new(0), dst,
+///         SimTime::from_mins(30), Priority::HIGH))
+///     .build()?;
+/// assert_eq!(scenario.request_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    network: Network,
+    items: Vec<DataItem>,
+    requests: Vec<Request>,
+    /// Requests grouped by item, precomputed.
+    requests_by_item: Vec<Vec<RequestId>>,
+    gc_delay: SimDuration,
+    horizon: SimTime,
+}
+
+impl Scenario {
+    /// Starts building a scenario on `network`.
+    #[must_use]
+    pub fn builder(network: Network) -> ScenarioBuilder {
+        ScenarioBuilder {
+            network,
+            items: Vec::new(),
+            requests: Vec::new(),
+            gc_delay: SimDuration::from_mins(6), // the paper's γ
+            horizon: SimTime::from_hours(2),     // the paper's effective duration
+        }
+    }
+
+    /// The communication system.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Number of distinct data items `n`.
+    #[must_use]
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of requests (Σ over items of `Nrq`).
+    #[must_use]
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Looks up a data item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn item(&self, id: DataItemId) -> &DataItem {
+        &self.items[id.index()]
+    }
+
+    /// Looks up a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn request(&self, id: RequestId) -> &Request {
+        &self.requests[id.index()]
+    }
+
+    /// Iterates over all items with their ids.
+    pub fn items(&self) -> impl Iterator<Item = (DataItemId, &DataItem)> + '_ {
+        self.items.iter().enumerate().map(|(i, d)| (DataItemId::new(i as u32), d))
+    }
+
+    /// Iterates over all item ids.
+    pub fn item_ids(&self) -> impl Iterator<Item = DataItemId> + 'static {
+        (0..self.items.len() as u32).map(DataItemId::new)
+    }
+
+    /// Iterates over all requests with their ids.
+    pub fn requests(&self) -> impl Iterator<Item = (RequestId, &Request)> + '_ {
+        self.requests.iter().enumerate().map(|(i, r)| (RequestId::new(i as u32), r))
+    }
+
+    /// Iterates over all request ids.
+    pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + 'static {
+        (0..self.requests.len() as u32).map(RequestId::new)
+    }
+
+    /// The requests for a given item (`Request[j, 0..Nrq[j]]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn requests_for(&self, item: DataItemId) -> &[RequestId] {
+        &self.requests_by_item[item.index()]
+    }
+
+    /// The garbage-collection delay `γ`: intermediate copies of an item are
+    /// reclaimed `γ` after the item's latest deadline (paper §4.4).
+    #[must_use]
+    pub fn gc_delay(&self) -> SimDuration {
+        self.gc_delay
+    }
+
+    /// End of the scheduling horizon; sources and destinations hold their
+    /// copies until this time.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// The latest deadline among the requests for `item`, or `None` if the
+    /// item is not requested.
+    #[must_use]
+    pub fn latest_deadline(&self, item: DataItemId) -> Option<SimTime> {
+        self.requests_for(item).iter().map(|&r| self.request(r).deadline()).max()
+    }
+
+    /// The garbage-collection time for `item` on intermediate machines:
+    /// `latest deadline + γ`, capped at the horizon. Unrequested items are
+    /// never staged, so they have no GC time.
+    #[must_use]
+    pub fn gc_time(&self, item: DataItemId) -> Option<SimTime> {
+        self.latest_deadline(item).map(|d| (d + self.gc_delay).min(self.horizon))
+    }
+}
+
+/// Builder for [`Scenario`]; see [`Scenario::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    network: Network,
+    items: Vec<DataItem>,
+    requests: Vec<Request>,
+    gc_delay: SimDuration,
+    horizon: SimTime,
+}
+
+impl ScenarioBuilder {
+    /// Adds a data item and returns its id.
+    pub fn add_item(mut self, item: DataItem) -> Self {
+        self.items.push(item);
+        self
+    }
+
+    /// Adds a request.
+    pub fn add_request(mut self, request: Request) -> Self {
+        self.requests.push(request);
+        self
+    }
+
+    /// Adds several requests.
+    pub fn add_requests(mut self, requests: impl IntoIterator<Item = Request>) -> Self {
+        self.requests.extend(requests);
+        self
+    }
+
+    /// Overrides the garbage-collection delay `γ` (default: 6 minutes).
+    #[must_use]
+    pub fn gc_delay(mut self, gamma: SimDuration) -> Self {
+        self.gc_delay = gamma;
+        self
+    }
+
+    /// Overrides the scheduling horizon (default: 2 hours).
+    #[must_use]
+    pub fn horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Validates the invariants of paper §3 and produces the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if item names collide, any referenced
+    /// machine or item id is out of range, a requested item has no sources,
+    /// a machine is both source and destination of the same item, a machine
+    /// requests the same item twice, or an item lists a source twice.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let m = self.network.machine_count();
+
+        let mut names: HashMap<&str, DataItemId> = HashMap::new();
+        for (i, item) in self.items.iter().enumerate() {
+            let id = DataItemId::new(i as u32);
+            if let Some(&first) = names.get(item.name()) {
+                return Err(ScenarioError::DuplicateItemName {
+                    name: item.name().to_string(),
+                    first,
+                    second: id,
+                });
+            }
+            names.insert(item.name(), id);
+            let mut seen = Vec::new();
+            for src in item.sources() {
+                if src.machine.index() >= m {
+                    return Err(ScenarioError::UnknownMachine {
+                        machine: src.machine,
+                        context: "data item source",
+                    });
+                }
+                if seen.contains(&src.machine) {
+                    return Err(ScenarioError::DuplicateSource { item: id, machine: src.machine });
+                }
+                seen.push(src.machine);
+            }
+        }
+
+        let mut requests_by_item = vec![Vec::new(); self.items.len()];
+        let mut seen_pairs: HashMap<(DataItemId, MachineId), RequestId> = HashMap::new();
+        for (i, req) in self.requests.iter().enumerate() {
+            let id = RequestId::new(i as u32);
+            if req.item().index() >= self.items.len() {
+                return Err(ScenarioError::UnknownItem { request: id, item: req.item() });
+            }
+            if req.destination().index() >= m {
+                return Err(ScenarioError::UnknownMachine {
+                    machine: req.destination(),
+                    context: "request destination",
+                });
+            }
+            let item = &self.items[req.item().index()];
+            if item.sources().is_empty() {
+                return Err(ScenarioError::RequestedItemWithoutSources { item: req.item() });
+            }
+            if item.has_source(req.destination()) {
+                return Err(ScenarioError::SourceIsDestination {
+                    request: id,
+                    machine: req.destination(),
+                });
+            }
+            if let Some(&first) = seen_pairs.get(&(req.item(), req.destination())) {
+                return Err(ScenarioError::DuplicateRequest { first, second: id });
+            }
+            seen_pairs.insert((req.item(), req.destination()), id);
+            requests_by_item[req.item().index()].push(id);
+        }
+
+        Ok(Scenario {
+            network: self.network,
+            items: self.items,
+            requests: self.requests,
+            requests_by_item,
+            gc_delay: self.gc_delay,
+            horizon: self.horizon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataSource;
+    use crate::link::VirtualLink;
+    use crate::machine::Machine;
+    use crate::request::Priority;
+    use crate::units::{BitsPerSec, Bytes};
+
+    fn net(n: usize) -> Network {
+        let mut b = crate::network::NetworkBuilder::new();
+        for i in 0..n {
+            b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(100)));
+        }
+        for i in 0..n as u32 {
+            let j = (i + 1) % n as u32;
+            b.add_link(VirtualLink::new(
+                MachineId::new(i),
+                MachineId::new(j),
+                SimTime::ZERO,
+                SimTime::from_hours(2),
+                BitsPerSec::from_kbps(100),
+            ));
+        }
+        b.build()
+    }
+
+    fn item_at(src: u32) -> DataItem {
+        DataItem::new(
+            format!("item-src{src}"),
+            Bytes::from_kib(10),
+            vec![DataSource::new(MachineId::new(src), SimTime::ZERO)],
+        )
+    }
+
+    #[test]
+    fn build_valid_scenario() {
+        let s = Scenario::builder(net(3))
+            .add_item(item_at(0))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(2),
+                SimTime::from_mins(30),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(s.item_count(), 1);
+        assert_eq!(s.request_count(), 1);
+        assert_eq!(s.requests_for(DataItemId::new(0)), &[RequestId::new(0)]);
+        assert_eq!(s.gc_delay(), SimDuration::from_mins(6));
+        assert_eq!(s.horizon(), SimTime::from_hours(2));
+    }
+
+    #[test]
+    fn duplicate_item_names_rejected() {
+        let err = Scenario::builder(net(2))
+            .add_item(DataItem::new("x", Bytes::ZERO, vec![DataSource::new(MachineId::new(0), SimTime::ZERO)]))
+            .add_item(DataItem::new("x", Bytes::ZERO, vec![DataSource::new(MachineId::new(1), SimTime::ZERO)]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::DuplicateItemName { .. }));
+    }
+
+    #[test]
+    fn unknown_source_machine_rejected() {
+        let err = Scenario::builder(net(2))
+            .add_item(DataItem::new(
+                "x",
+                Bytes::ZERO,
+                vec![DataSource::new(MachineId::new(9), SimTime::ZERO)],
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownMachine { .. }));
+    }
+
+    #[test]
+    fn unknown_request_item_rejected() {
+        let err = Scenario::builder(net(2))
+            .add_request(Request::new(
+                DataItemId::new(5),
+                MachineId::new(1),
+                SimTime::from_mins(1),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownItem { .. }));
+    }
+
+    #[test]
+    fn requested_item_without_sources_rejected() {
+        let err = Scenario::builder(net(2))
+            .add_item(DataItem::new("x", Bytes::ZERO, vec![]))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(1),
+                SimTime::from_mins(1),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::RequestedItemWithoutSources { .. }));
+    }
+
+    #[test]
+    fn source_as_destination_rejected() {
+        let err = Scenario::builder(net(2))
+            .add_item(item_at(0))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(0),
+                SimTime::from_mins(1),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::SourceIsDestination { .. }));
+    }
+
+    #[test]
+    fn duplicate_requests_rejected() {
+        let req = Request::new(
+            DataItemId::new(0),
+            MachineId::new(1),
+            SimTime::from_mins(1),
+            Priority::LOW,
+        );
+        let err = Scenario::builder(net(2))
+            .add_item(item_at(0))
+            .add_request(req)
+            .add_request(req)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::DuplicateRequest { .. }));
+    }
+
+    #[test]
+    fn duplicate_sources_rejected() {
+        let err = Scenario::builder(net(2))
+            .add_item(DataItem::new(
+                "x",
+                Bytes::ZERO,
+                vec![
+                    DataSource::new(MachineId::new(0), SimTime::ZERO),
+                    DataSource::new(MachineId::new(0), SimTime::from_mins(1)),
+                ],
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::DuplicateSource { .. }));
+    }
+
+    #[test]
+    fn same_item_two_destinations_allowed_with_distinct_deadlines() {
+        let s = Scenario::builder(net(3))
+            .add_item(item_at(0))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(1),
+                SimTime::from_mins(10),
+                Priority::LOW,
+            ))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(2),
+                SimTime::from_mins(20),
+                Priority::HIGH,
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(s.requests_for(DataItemId::new(0)).len(), 2);
+        assert_eq!(s.latest_deadline(DataItemId::new(0)), Some(SimTime::from_mins(20)));
+        assert_eq!(
+            s.gc_time(DataItemId::new(0)),
+            Some(SimTime::from_mins(26)) // 20 min deadline + 6 min γ
+        );
+    }
+
+    #[test]
+    fn gc_time_caps_at_horizon() {
+        let s = Scenario::builder(net(2))
+            .add_item(item_at(0))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(1),
+                SimTime::from_mins(118),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap();
+        // 118 min + 6 min = 124 min > 120 min horizon.
+        assert_eq!(s.gc_time(DataItemId::new(0)), Some(SimTime::from_hours(2)));
+    }
+
+    #[test]
+    fn gc_time_none_for_unrequested_item() {
+        let s = Scenario::builder(net(2)).add_item(item_at(0)).build().unwrap();
+        assert_eq!(s.latest_deadline(DataItemId::new(0)), None);
+        assert_eq!(s.gc_time(DataItemId::new(0)), None);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let s = Scenario::builder(net(2))
+            .gc_delay(SimDuration::from_mins(1))
+            .horizon(SimTime::from_hours(4))
+            .build()
+            .unwrap();
+        assert_eq!(s.gc_delay(), SimDuration::from_mins(1));
+        assert_eq!(s.horizon(), SimTime::from_hours(4));
+    }
+}

@@ -1,0 +1,113 @@
+//! JSON round-trip tests for the model types (external interchange via
+//! the `scenarios` exporter).
+
+use dstage_model::prelude::*;
+
+fn sample_scenario() -> Scenario {
+    let mut b = NetworkBuilder::new();
+    let a = b.add_machine(Machine::new("alpha", Bytes::from_gib(2)));
+    let c = b.add_machine(Machine::new("charlie", Bytes::from_mib(64)));
+    b.add_link(VirtualLink::with_latency(
+        a,
+        c,
+        SimTime::from_mins(5),
+        SimTime::from_mins(35),
+        BitsPerSec::from_kbps(256),
+        SimDuration::from_millis(120),
+    ));
+    b.add_link(VirtualLink::new(c, a, SimTime::ZERO, SimTime::from_hours(2), BitsPerSec::from_mbps(1)));
+    Scenario::builder(b.build())
+        .gc_delay(SimDuration::from_mins(7))
+        .horizon(SimTime::from_hours(3))
+        .add_item(DataItem::new(
+            "weather",
+            Bytes::from_kib(640),
+            vec![DataSource::new(a, SimTime::from_secs(30))],
+        ))
+        .add_request(Request::new(DataItemId::new(0), c, SimTime::from_mins(20), Priority::HIGH))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn scenario_roundtrips_through_json() {
+    let original = sample_scenario();
+    let json = serde_json::to_string(&original).unwrap();
+    let back: Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.item_count(), original.item_count());
+    assert_eq!(back.request_count(), original.request_count());
+    assert_eq!(back.gc_delay(), original.gc_delay());
+    assert_eq!(back.horizon(), original.horizon());
+    assert_eq!(back.network().machine_count(), original.network().machine_count());
+    assert_eq!(back.network().link_count(), original.network().link_count());
+    // Deep equality of key entities.
+    let l0 = back.network().link(VirtualLinkId::new(0));
+    assert_eq!(l0.latency(), SimDuration::from_millis(120));
+    assert_eq!(l0.start(), SimTime::from_mins(5));
+    assert_eq!(back.item(DataItemId::new(0)), original.item(DataItemId::new(0)));
+    assert_eq!(back.request(RequestId::new(0)), original.request(RequestId::new(0)));
+    // Derived data survives (requests_for index is rebuilt/serialized).
+    assert_eq!(
+        back.requests_for(DataItemId::new(0)),
+        original.requests_for(DataItemId::new(0))
+    );
+}
+
+#[test]
+fn newtypes_serialize_transparently() {
+    // Times, sizes, and ids are raw numbers on the wire — stable, minimal
+    // JSON for external consumers.
+    assert_eq!(serde_json::to_string(&SimTime::from_secs(2)).unwrap(), "2000");
+    assert_eq!(serde_json::to_string(&SimDuration::from_mins(1)).unwrap(), "60000");
+    assert_eq!(serde_json::to_string(&Bytes::from_kib(1)).unwrap(), "1024");
+    assert_eq!(serde_json::to_string(&BitsPerSec::from_kbps(10)).unwrap(), "10000");
+    assert_eq!(serde_json::to_string(&MachineId::new(3)).unwrap(), "3");
+    assert_eq!(serde_json::to_string(&Priority::HIGH).unwrap(), "2");
+}
+
+#[test]
+fn priority_weights_roundtrip() {
+    let w = PriorityWeights::paper_1_10_100();
+    let json = serde_json::to_string(&w).unwrap();
+    let back: PriorityWeights = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, w);
+    assert_eq!(back.weight(Priority::HIGH), 100);
+}
+
+#[test]
+fn generated_scenario_roundtrips() {
+    // The real §5.3-scale payload survives serialization unchanged.
+    let json = {
+        let mut b = NetworkBuilder::new();
+        for i in 0..3 {
+            b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(10)));
+        }
+        for i in 0..3u32 {
+            b.add_link(VirtualLink::new(
+                MachineId::new(i),
+                MachineId::new((i + 1) % 3),
+                SimTime::ZERO,
+                SimTime::from_hours(1),
+                BitsPerSec::from_kbps(100),
+            ));
+        }
+        let s = Scenario::builder(b.build())
+            .add_item(DataItem::new(
+                "x",
+                Bytes::from_kib(100),
+                vec![DataSource::new(MachineId::new(0), SimTime::ZERO)],
+            ))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(2),
+                SimTime::from_mins(30),
+                Priority::MEDIUM,
+            ))
+            .build()
+            .unwrap();
+        serde_json::to_string_pretty(&s).unwrap()
+    };
+    let back: Scenario = serde_json::from_str(&json).unwrap();
+    let json2 = serde_json::to_string_pretty(&back).unwrap();
+    assert_eq!(json, json2, "serialization must be a fixpoint");
+}

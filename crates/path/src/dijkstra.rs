@@ -1,0 +1,404 @@
+//! The adapted multiple-source shortest-path algorithm (paper §4.2).
+//!
+//! Classic Dijkstra computes shortest distances over static edge weights;
+//! here an "edge weight" is *time-dependent*: the earliest moment an item
+//! can finish crossing a virtual link depends on when it becomes ready at
+//! the sending machine, the link's availability window, the link's existing
+//! reservations, and the receiving machine's free storage through the
+//! item's garbage-collection time. All four constraints are monotone in
+//! the ready time (resources are only ever consumed, never released during
+//! a probe), which gives the FIFO/non-overtaking property that makes
+//! label-setting Dijkstra exact for this setting.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dstage_model::ids::MachineId;
+use dstage_model::network::Network;
+use dstage_model::time::SimTime;
+use dstage_model::units::Bytes;
+use dstage_resources::ledger::NetworkLedger;
+
+use crate::tree::{ArrivalTree, Hop};
+
+/// One search instance: everything needed to compute the earliest-arrival
+/// tree of a single data item against the current resource state.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemQuery<'a> {
+    /// The network topology.
+    pub network: &'a Network,
+    /// Current link/storage commitments.
+    pub ledger: &'a NetworkLedger,
+    /// Size of the item being staged.
+    pub size: Bytes,
+    /// Machines currently holding (or scheduled to receive) a copy, with
+    /// the time that copy becomes available.
+    pub sources: &'a [(MachineId, SimTime)],
+    /// Per machine: how long a newly staged copy must be holdable there —
+    /// the item's GC time for intermediates, the horizon for requesting
+    /// destinations (policy supplied by the scheduler). Indexed by machine.
+    pub hold_until: &'a [SimTime],
+}
+
+/// Computes the earliest-arrival tree for one item.
+///
+/// For every machine the result reports the earliest time the item could
+/// be available there, starting from any current copy, and the chain of
+/// transfers achieving it. Checks performed per relaxation match §4.2:
+/// link availability windows, link busy intervals, receiving-machine
+/// storage through the hold deadline, and source availability times.
+///
+/// Determinism: ties between equal arrival times are broken by machine id,
+/// and outgoing links are scanned in id order, so equal-cost trees are
+/// always the same tree.
+///
+/// # Panics
+///
+/// Panics if `hold_until` is shorter than the machine count, or a source
+/// machine id is out of range.
+#[must_use]
+pub fn earliest_arrival_tree(query: &ItemQuery<'_>) -> ArrivalTree {
+    let n = query.network.machine_count();
+    assert!(query.hold_until.len() >= n, "hold_until must cover every machine");
+
+    let mut arrivals = vec![SimTime::MAX; n];
+    let mut hops: Vec<Option<Hop>> = vec![None; n];
+    // Min-heap on (arrival, machine id) for deterministic tie-breaking.
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
+
+    for &(machine, available_at) in query.sources {
+        let slot = &mut arrivals[machine.index()];
+        if available_at < *slot {
+            *slot = available_at;
+            hops[machine.index()] = None;
+            heap.push(Reverse((available_at, machine.index() as u32)));
+        }
+    }
+
+    while let Some(Reverse((ready, u_idx))) = heap.pop() {
+        if ready > arrivals[u_idx as usize] {
+            continue; // stale heap entry
+        }
+        let u = MachineId::new(u_idx);
+        for &link_id in query.network.outgoing(u) {
+            let link = query.network.link(link_id);
+            let v = link.destination();
+            if arrivals[v.index()] <= ready {
+                // Cannot improve: any transfer out of `u` arrives after
+                // `ready`, and v is already at least that early.
+                continue;
+            }
+            let hold = query.hold_until[v.index()];
+            let Some(slot) =
+                query.ledger.earliest_transfer(query.network, link_id, ready, query.size, hold)
+            else {
+                continue;
+            };
+            if slot.arrival < arrivals[v.index()] {
+                arrivals[v.index()] = slot.arrival;
+                hops[v.index()] =
+                    Some(Hop { from: u, to: v, link: link_id, start: slot.start, arrival: slot.arrival });
+                heap.push(Reverse((slot.arrival, v.index() as u32)));
+            }
+        }
+    }
+
+    ArrivalTree::new(arrivals, hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstage_model::link::VirtualLink;
+    use dstage_model::machine::Machine;
+    use dstage_model::network::NetworkBuilder;
+    use dstage_model::units::BitsPerSec;
+
+    fn m(i: u32) -> MachineId {
+        MachineId::new(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Builds a line 0 -> 1 -> 2 plus a slow direct link 0 -> 2.
+    ///
+    /// Link speeds: 1 byte/ms on the line hops, 0.25 byte/ms direct.
+    fn line_net() -> Network {
+        let mut b = NetworkBuilder::new();
+        for i in 0..3 {
+            b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
+        }
+        let win = SimTime::from_hours(1);
+        b.add_link(VirtualLink::new(m(0), m(1), SimTime::ZERO, win, BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(m(1), m(2), SimTime::ZERO, win, BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(m(0), m(2), SimTime::ZERO, win, BitsPerSec::new(2_000)));
+        b.build()
+    }
+
+    fn max_hold(n: usize) -> Vec<SimTime> {
+        vec![SimTime::MAX; n]
+    }
+
+    #[test]
+    fn picks_two_hop_route_when_faster() {
+        let net = line_net();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(3);
+        // 10_000 bytes: two hops take 10+10 s; direct takes 40 s.
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        assert_eq!(tree.arrival(m(0)), t(0));
+        assert_eq!(tree.arrival(m(1)), t(10));
+        assert_eq!(tree.arrival(m(2)), t(20));
+        let path = tree.path_to(m(2)).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].to, m(1));
+    }
+
+    #[test]
+    fn picks_direct_route_when_line_blocked() {
+        let net = line_net();
+        let mut ledger = NetworkLedger::new(&net);
+        // Make hop 1->2 (link id 1) busy for a long time.
+        ledger
+            .commit_transfer(
+                &net,
+                dstage_model::ids::VirtualLinkId::new(1),
+                t(0),
+                Bytes::new(100_000), // 100 s
+                SimTime::MAX,
+            )
+            .unwrap();
+        let hold = max_hold(3);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        // Direct: 40 s. Via line: 10 s + wait to 100 + 10 = 110 s.
+        assert_eq!(tree.arrival(m(2)), t(40));
+        assert_eq!(tree.path_to(m(2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn multiple_sources_choose_nearest() {
+        let net = line_net();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(3);
+        // A copy at machine 1 (available late) and machine 0 (early).
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0)), (m(1), t(5))],
+            hold_until: &hold,
+        });
+        // m2 via m1's copy: ready 5, 10 s hop => 15. Via m0: 20. Direct: 40.
+        assert_eq!(tree.arrival(m(2)), t(15));
+        let path = tree.path_to(m(2)).unwrap();
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].from, m(1));
+    }
+
+    #[test]
+    fn source_availability_delays_everything() {
+        let net = line_net();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(3);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(100))],
+            hold_until: &hold,
+        });
+        assert_eq!(tree.arrival(m(1)), t(110));
+        assert_eq!(tree.arrival(m(2)), t(120));
+    }
+
+    #[test]
+    fn unreachable_when_no_links() {
+        let mut b = NetworkBuilder::new();
+        b.add_machine(Machine::new("a", Bytes::from_mib(1)));
+        b.add_machine(Machine::new("b", Bytes::from_mib(1)));
+        let net = b.build();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(2);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(1),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        assert!(tree.is_reachable(m(0)));
+        assert!(!tree.is_reachable(m(1)));
+    }
+
+    #[test]
+    fn storage_full_machine_is_bypassed() {
+        let net = line_net();
+        let mut ledger = NetworkLedger::new(&net);
+        // Fill machine 1 completely for the whole horizon.
+        ledger.force_storage(m(1), Bytes::from_mib(1), t(0), SimTime::MAX);
+        let hold = max_hold(3);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        assert!(!tree.is_reachable(m(1)));
+        // m2 still reachable via the slow direct link.
+        assert_eq!(tree.arrival(m(2)), t(40));
+    }
+
+    #[test]
+    fn hold_deadline_prunes_late_paths() {
+        let net = line_net();
+        let ledger = NetworkLedger::new(&net);
+        // Intermediate hold deadlines force completion by t=15 at m1/m2.
+        let hold = vec![t(15), t(15), t(15)];
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        // 0->1 arrives at 10 <= 15: ok. 1->2 would arrive at 20 > 15: no.
+        // Direct 0->2 arrives at 40 > 15: no.
+        assert_eq!(tree.arrival(m(1)), t(10));
+        assert!(!tree.is_reachable(m(2)));
+    }
+
+    #[test]
+    fn window_gaps_force_waiting() {
+        // One link available only during [60 s, 120 s).
+        let mut b = NetworkBuilder::new();
+        b.add_machine(Machine::new("a", Bytes::from_mib(1)));
+        b.add_machine(Machine::new("b", Bytes::from_mib(1)));
+        b.add_link(VirtualLink::new(m(0), m(1), t(60), t(120), BitsPerSec::new(8_000)));
+        let net = b.build();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(2);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        assert_eq!(tree.arrival(m(1)), t(70));
+        assert_eq!(tree.hop_into(m(1)).unwrap().start, t(60));
+    }
+
+    #[test]
+    fn parallel_virtual_links_pick_best_window() {
+        // Two virtual links a->b: early slow window and later fast window.
+        let mut b = NetworkBuilder::new();
+        b.add_machine(Machine::new("a", Bytes::from_mib(1)));
+        b.add_machine(Machine::new("b", Bytes::from_mib(1)));
+        b.add_link(VirtualLink::new(m(0), m(1), t(0), t(300), BitsPerSec::new(800))); // 0.1 B/ms
+        b.add_link(VirtualLink::new(m(0), m(1), t(30), t(300), BitsPerSec::new(8_000)));
+        let net = b.build();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(2);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        // Slow link: 100 s. Fast link: wait to 30 + 10 s = 40 s.
+        assert_eq!(tree.arrival(m(1)), t(40));
+        assert_eq!(tree.hop_into(m(1)).unwrap().link, dstage_model::ids::VirtualLinkId::new(1));
+    }
+
+    #[test]
+    fn deterministic_tie_break_prefers_lower_link_id() {
+        // Two identical links: the tree must always pick link 0.
+        let mut b = NetworkBuilder::new();
+        b.add_machine(Machine::new("a", Bytes::from_mib(1)));
+        b.add_machine(Machine::new("b", Bytes::from_mib(1)));
+        for _ in 0..2 {
+            b.add_link(VirtualLink::new(m(0), m(1), t(0), t(300), BitsPerSec::new(8_000)));
+        }
+        let net = b.build();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(2);
+        for _ in 0..5 {
+            let tree = earliest_arrival_tree(&ItemQuery {
+                network: &net,
+                ledger: &ledger,
+                size: Bytes::new(100),
+                sources: &[(m(0), t(0))],
+                hold_until: &hold,
+            });
+            assert_eq!(
+                tree.hop_into(m(1)).unwrap().link,
+                dstage_model::ids::VirtualLinkId::new(0)
+            );
+        }
+    }
+
+    #[test]
+    fn latency_adds_to_every_hop() {
+        use dstage_model::time::SimDuration;
+        let mut b = NetworkBuilder::new();
+        for i in 0..3 {
+            b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
+        }
+        for i in 0..2u32 {
+            b.add_link(VirtualLink::with_latency(
+                m(i),
+                m(i + 1),
+                t(0),
+                SimTime::from_hours(1),
+                BitsPerSec::new(8_000),
+                SimDuration::from_millis(500),
+            ));
+        }
+        let net = b.build();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(3);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+        });
+        // Each hop: 10 s serialization + 0.5 s latency.
+        assert_eq!(tree.arrival(m(1)), SimTime::from_millis(10_500));
+        assert_eq!(tree.arrival(m(2)), SimTime::from_millis(21_000));
+    }
+
+    #[test]
+    fn no_sources_means_everything_unreachable() {
+        let net = line_net();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(3);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(1),
+            sources: &[],
+            hold_until: &hold,
+        });
+        for i in 0..3 {
+            assert!(!tree.is_reachable(m(i)));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Shortest-path trees produced by the earliest-arrival search.
+
+use dstage_model::ids::{MachineId, VirtualLinkId};
+use dstage_model::time::SimTime;
+
+/// One scheduled-to-be hop: how the item would reach a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hop {
+    /// The machine the item is sent from (already holds or will hold a copy).
+    pub from: MachineId,
+    /// The machine the item arrives at.
+    pub to: MachineId,
+    /// The virtual link carrying the transfer.
+    pub link: VirtualLinkId,
+    /// When the transfer starts occupying the link.
+    pub start: SimTime,
+    /// When the item is available at `to`.
+    pub arrival: SimTime,
+}
+
+/// The result of one multiple-source earliest-arrival search for one data
+/// item: per machine, the earliest time the item could be there, and the
+/// hop that achieves it.
+///
+/// Machines that already hold a copy (the search's sources) have an
+/// arrival equal to their copy's availability and no inbound hop.
+/// Unreachable machines report [`SimTime::MAX`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalTree {
+    arrivals: Vec<SimTime>,
+    hops: Vec<Option<Hop>>,
+}
+
+impl ArrivalTree {
+    pub(crate) fn new(arrivals: Vec<SimTime>, hops: Vec<Option<Hop>>) -> Self {
+        debug_assert_eq!(arrivals.len(), hops.len());
+        ArrivalTree { arrivals, hops }
+    }
+
+    /// Number of machines covered by the tree.
+    #[must_use]
+    pub fn machine_count(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Earliest arrival of the item at `machine` (`A_T` in the paper when
+    /// `machine` is a requesting destination); [`SimTime::MAX`] when the
+    /// item cannot reach it at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn arrival(&self, machine: MachineId) -> SimTime {
+        self.arrivals[machine.index()]
+    }
+
+    /// Whether the item can reach `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_reachable(&self, machine: MachineId) -> bool {
+        self.arrivals[machine.index()] != SimTime::MAX
+    }
+
+    /// The hop that brings the item to `machine`, or `None` when the
+    /// machine is a source (already holds a copy) or unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn hop_into(&self, machine: MachineId) -> Option<Hop> {
+        self.hops[machine.index()]
+    }
+
+    /// The full chain of hops from a current copy holder to `machine`,
+    /// in travel order. Empty when `machine` is itself a source.
+    ///
+    /// Returns `None` when `machine` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn path_to(&self, machine: MachineId) -> Option<Vec<Hop>> {
+        if !self.is_reachable(machine) {
+            return None;
+        }
+        let mut chain = Vec::new();
+        let mut cursor = machine;
+        while let Some(hop) = self.hops[cursor.index()] {
+            chain.push(hop);
+            cursor = hop.from;
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// The *first* hop on the path to `machine`: the transfer out of a
+    /// machine that already holds a copy. `None` when the machine is a
+    /// source itself or unreachable.
+    ///
+    /// This is the paper's "next machine in the shortest path" (§4.8): the
+    /// receiving end of this hop is the `M[r]` that defines `Drq[i, r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn first_hop_toward(&self, machine: MachineId) -> Option<Hop> {
+        let mut current = self.hops[machine.index()]?;
+        while let Some(prev) = self.hops[current.from.index()] {
+            current = prev;
+        }
+        Some(current)
+    }
+
+    /// Iterates over every hop in the tree (each machine's inbound hop).
+    pub fn hops(&self) -> impl Iterator<Item = Hop> + '_ {
+        self.hops.iter().filter_map(|h| *h)
+    }
+
+    /// Whether any hop in the tree uses `link` — the link half of the
+    /// dirty-tracking predicate (see DESIGN.md §3).
+    #[must_use]
+    pub fn uses_link(&self, link: VirtualLinkId) -> bool {
+        self.hops().any(|h| h.link == link)
+    }
+
+    /// Whether the tree would place a new copy on `machine` (i.e. the
+    /// machine is reached via a hop) — the storage half of the
+    /// dirty-tracking predicate.
+    #[must_use]
+    pub fn stores_on(&self, machine: MachineId) -> bool {
+        self.hops[machine.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> MachineId {
+        MachineId::new(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Source 0 -> 1 -> 2, machine 3 unreachable.
+    fn sample() -> ArrivalTree {
+        let h1 = Hop { from: m(0), to: m(1), link: VirtualLinkId::new(0), start: t(0), arrival: t(5) };
+        let h2 = Hop { from: m(1), to: m(2), link: VirtualLinkId::new(1), start: t(5), arrival: t(9) };
+        ArrivalTree::new(
+            vec![t(0), t(5), t(9), SimTime::MAX],
+            vec![None, Some(h1), Some(h2), None],
+        )
+    }
+
+    #[test]
+    fn arrivals_and_reachability() {
+        let tr = sample();
+        assert_eq!(tr.machine_count(), 4);
+        assert_eq!(tr.arrival(m(0)), t(0));
+        assert_eq!(tr.arrival(m(2)), t(9));
+        assert!(tr.is_reachable(m(2)));
+        assert!(!tr.is_reachable(m(3)));
+    }
+
+    #[test]
+    fn path_to_walks_the_chain() {
+        let tr = sample();
+        let path = tr.path_to(m(2)).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].from, m(0));
+        assert_eq!(path[0].to, m(1));
+        assert_eq!(path[1].from, m(1));
+        assert_eq!(path[1].to, m(2));
+        assert_eq!(tr.path_to(m(0)).unwrap(), vec![]);
+        assert_eq!(tr.path_to(m(3)), None);
+    }
+
+    #[test]
+    fn first_hop_is_out_of_a_source() {
+        let tr = sample();
+        let hop = tr.first_hop_toward(m(2)).unwrap();
+        assert_eq!(hop.from, m(0));
+        assert_eq!(hop.to, m(1));
+        assert_eq!(tr.first_hop_toward(m(1)).unwrap().to, m(1));
+        assert_eq!(tr.first_hop_toward(m(0)), None);
+        assert_eq!(tr.first_hop_toward(m(3)), None);
+    }
+
+    #[test]
+    fn dirty_tracking_predicates() {
+        let tr = sample();
+        assert!(tr.uses_link(VirtualLinkId::new(0)));
+        assert!(tr.uses_link(VirtualLinkId::new(1)));
+        assert!(!tr.uses_link(VirtualLinkId::new(2)));
+        assert!(tr.stores_on(m(1)));
+        assert!(tr.stores_on(m(2)));
+        assert!(!tr.stores_on(m(0)));
+        assert!(!tr.stores_on(m(3)));
+    }
+
+    #[test]
+    fn hops_iterator_yields_each_edge_once() {
+        let tr = sample();
+        assert_eq!(tr.hops().count(), 2);
+    }
+}

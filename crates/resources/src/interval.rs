@@ -1,0 +1,382 @@
+//! Busy-interval bookkeeping for serially reusable resources.
+//!
+//! A virtual link carries at most one transfer at a time (the paper's link
+//! conflict rule, §4.3); its reservations form a set of disjoint
+//! half-open intervals `[start, end)` over simulation time.
+
+use dstage_model::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A set of disjoint, sorted, half-open busy intervals.
+///
+/// # Examples
+///
+/// ```
+/// use dstage_resources::interval::BusyIntervals;
+/// use dstage_model::time::{SimTime, SimDuration};
+///
+/// let mut busy = BusyIntervals::new();
+/// busy.reserve(SimTime::from_secs(10), SimTime::from_secs(20)).unwrap();
+/// // A 5s job ready at t=8 must wait for the gap after t=20... unless it
+/// // fits before t=10 — it doesn't (8+5 > 10), so:
+/// let start = busy.earliest_gap(
+///     SimTime::from_secs(8),
+///     SimDuration::from_secs(5),
+///     SimTime::MAX,
+/// );
+/// assert_eq!(start, Some(SimTime::from_secs(20)));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyIntervals {
+    /// Sorted by start; pairwise disjoint (abutting intervals are merged).
+    spans: Vec<(SimTime, SimTime)>,
+}
+
+/// Error returned by [`BusyIntervals::reserve`] when the requested span
+/// overlaps an existing reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapError {
+    /// Start of the existing reservation that conflicts.
+    pub existing_start: SimTime,
+    /// End of the existing reservation that conflicts.
+    pub existing_end: SimTime,
+}
+
+impl core::fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "requested span overlaps existing reservation [{}, {})",
+            self.existing_start, self.existing_end
+        )
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
+impl BusyIntervals {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        BusyIntervals::default()
+    }
+
+    /// Number of disjoint busy spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when nothing is reserved.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterates over the busy spans in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, SimTime)> + '_ {
+        self.spans.iter().copied()
+    }
+
+    /// Whether `[start, end)` is completely free.
+    ///
+    /// Zero-length spans are trivially free.
+    #[must_use]
+    pub fn is_free(&self, start: SimTime, end: SimTime) -> bool {
+        if start >= end {
+            return true;
+        }
+        // First span with span_end > start could overlap.
+        let idx = self.spans.partition_point(|&(_, e)| e <= start);
+        match self.spans.get(idx) {
+            Some(&(s, _)) => s >= end,
+            None => true,
+        }
+    }
+
+    /// Reserves `[start, end)`.
+    ///
+    /// Abutting spans are merged so the set stays canonical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlapError`] if the span overlaps an existing
+    /// reservation; the set is unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` (empty reservations are almost certainly a
+    /// caller bug — a transfer always takes at least one millisecond).
+    pub fn reserve(&mut self, start: SimTime, end: SimTime) -> Result<(), OverlapError> {
+        assert!(start < end, "reservation must be a non-empty span");
+        let idx = self.spans.partition_point(|&(_, e)| e <= start);
+        if let Some(&(s, e)) = self.spans.get(idx) {
+            if s < end {
+                return Err(OverlapError { existing_start: s, existing_end: e });
+            }
+        }
+        // Merge with predecessor if abutting (pred.end == start)...
+        let merge_prev = idx > 0 && self.spans[idx - 1].1 == start;
+        // ... and with successor if abutting (end == succ.start).
+        let merge_next = self.spans.get(idx).is_some_and(|&(s, _)| s == end);
+        match (merge_prev, merge_next) {
+            (true, true) => {
+                self.spans[idx - 1].1 = self.spans[idx].1;
+                self.spans.remove(idx);
+            }
+            (true, false) => self.spans[idx - 1].1 = end,
+            (false, true) => self.spans[idx].0 = start,
+            (false, false) => self.spans.insert(idx, (start, end)),
+        }
+        Ok(())
+    }
+
+    /// The earliest `start >= ready` such that `[start, start + duration)`
+    /// is free and `start + duration <= limit`.
+    ///
+    /// Returns `None` when no such start exists before `limit`.
+    /// A zero `duration` fits anywhere, so `ready` is returned whenever
+    /// `ready <= limit`.
+    #[must_use]
+    pub fn earliest_gap(
+        &self,
+        ready: SimTime,
+        duration: SimDuration,
+        limit: SimTime,
+    ) -> Option<SimTime> {
+        let mut candidate = ready;
+        let fits = |start: SimTime| -> Option<SimTime> {
+            let end = start.saturating_add(duration);
+            (end <= limit).then_some(end)
+        };
+        if duration.is_zero() {
+            // An empty span occupies nothing; it fits wherever it may start.
+            return (ready <= limit).then_some(ready);
+        }
+        fits(candidate)?;
+        let mut idx = self.spans.partition_point(|&(_, e)| e <= candidate);
+        loop {
+            let end = fits(candidate)?;
+            match self.spans.get(idx) {
+                Some(&(s, e)) if s < end => {
+                    // Overlaps this busy span; try right after it.
+                    candidate = e;
+                    idx += 1;
+                }
+                _ => return Some(candidate),
+            }
+        }
+    }
+
+    /// The maximal free gaps within `[from, to)`, in time order.
+    ///
+    /// Used to blanket-reserve a span that may already contain
+    /// reservations (e.g. blocking a link's past, or taking it down for
+    /// the rest of the horizon).
+    #[must_use]
+    pub fn free_gaps(&self, from: SimTime, to: SimTime) -> Vec<(SimTime, SimTime)> {
+        if from >= to {
+            return Vec::new();
+        }
+        let mut gaps = Vec::new();
+        let mut cursor = from;
+        let idx = self.spans.partition_point(|&(_, e)| e <= from);
+        for &(s, e) in &self.spans[idx..] {
+            if s >= to {
+                break;
+            }
+            if s > cursor {
+                gaps.push((cursor, s.min(to)));
+            }
+            cursor = cursor.max(e);
+            if cursor >= to {
+                return gaps;
+            }
+        }
+        if cursor < to {
+            gaps.push((cursor, to));
+        }
+        gaps
+    }
+
+    /// Reserves every currently free instant of `[from, to)` (no-op where
+    /// already busy).
+    pub fn blanket_reserve(&mut self, from: SimTime, to: SimTime) {
+        for (s, e) in self.free_gaps(from, to) {
+            self.reserve(s, e).expect("free gaps are free by construction");
+        }
+    }
+
+    /// Total busy time.
+    #[must_use]
+    pub fn total_busy(&self) -> SimDuration {
+        self.spans
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(s, e)| acc.saturating_add(e.saturating_since(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn empty_set_is_all_free() {
+        let b = BusyIntervals::new();
+        assert!(b.is_empty());
+        assert!(b.is_free(SimTime::ZERO, SimTime::MAX));
+        assert_eq!(b.earliest_gap(t(5), d(100), SimTime::MAX), Some(t(5)));
+    }
+
+    #[test]
+    fn reserve_then_query() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        assert!(b.is_free(t(0), t(10)));
+        assert!(b.is_free(t(20), t(30)));
+        assert!(!b.is_free(t(9), t(11)));
+        assert!(!b.is_free(t(15), t(16)));
+        assert!(!b.is_free(t(19), t(25)));
+        assert!(!b.is_free(t(5), t(25)));
+    }
+
+    #[test]
+    fn overlapping_reserve_rejected_and_state_unchanged() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        let before = b.clone();
+        let err = b.reserve(t(15), t(25)).unwrap_err();
+        assert_eq!(err.existing_start, t(10));
+        assert_eq!(err.existing_end, t(20));
+        assert_eq!(b, before);
+        // Also when the new span fully covers the old one.
+        assert!(b.reserve(t(5), t(30)).is_err());
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty span")]
+    fn empty_reserve_panics() {
+        let mut b = BusyIntervals::new();
+        let _ = b.reserve(t(5), t(5));
+    }
+
+    #[test]
+    fn abutting_reservations_merge() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        b.reserve(t(20), t(30)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.iter().next(), Some((t(10), t(30))));
+        b.reserve(t(0), t(10)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.iter().next(), Some((t(0), t(30))));
+        // Merge both sides at once.
+        b.reserve(t(40), t(50)).unwrap();
+        b.reserve(t(30), t(40)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.iter().next(), Some((t(0), t(50))));
+    }
+
+    #[test]
+    fn earliest_gap_skips_busy_spans() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        b.reserve(t(25), t(40)).unwrap();
+        // Fits before the first span.
+        assert_eq!(b.earliest_gap(t(0), d(10), SimTime::MAX), Some(t(0)));
+        // Exactly fits before the first span.
+        assert_eq!(b.earliest_gap(t(5), d(5), SimTime::MAX), Some(t(5)));
+        // Too long for the first gap; also too long for [20,25); lands at 40.
+        assert_eq!(b.earliest_gap(t(5), d(6), SimTime::MAX), Some(t(40)));
+        // Ready inside the first busy span; exactly fits the middle gap.
+        assert_eq!(b.earliest_gap(t(11), d(5), SimTime::MAX), Some(t(20)));
+        // Ready inside a busy span, too long for the middle gap.
+        assert_eq!(b.earliest_gap(t(12), d(6), SimTime::MAX), Some(t(40)));
+    }
+
+    #[test]
+    fn earliest_gap_respects_limit() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        // Ready inside the busy span: would fit at t=20 but the limit
+        // forbids finishing after t=24.
+        assert_eq!(b.earliest_gap(t(12), d(5), t(24)), None);
+        assert_eq!(b.earliest_gap(t(12), d(5), t(25)), Some(t(20)));
+        // Limit earlier than ready.
+        assert_eq!(b.earliest_gap(t(30), d(1), t(20)), None);
+    }
+
+    #[test]
+    fn earliest_gap_zero_duration() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        // Zero-length fits anywhere, even "inside" (it occupies nothing).
+        assert_eq!(b.earliest_gap(t(15), SimDuration::ZERO, SimTime::MAX), Some(t(15)));
+    }
+
+    #[test]
+    fn total_busy_sums_spans() {
+        let mut b = BusyIntervals::new();
+        assert_eq!(b.total_busy(), SimDuration::ZERO);
+        b.reserve(t(10), t(20)).unwrap();
+        b.reserve(t(30), t(35)).unwrap();
+        assert_eq!(b.total_busy(), d(15));
+    }
+
+    #[test]
+    fn free_gaps_enumerates_complement() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        b.reserve(t(30), t(40)).unwrap();
+        assert_eq!(
+            b.free_gaps(t(0), t(50)),
+            vec![(t(0), t(10)), (t(20), t(30)), (t(40), t(50))]
+        );
+        // Window starting inside a busy span.
+        assert_eq!(b.free_gaps(t(15), t(35)), vec![(t(20), t(30))]);
+        // Fully busy window.
+        assert_eq!(b.free_gaps(t(12), t(18)), vec![]);
+        // Empty window.
+        assert_eq!(b.free_gaps(t(5), t(5)), vec![]);
+        // Fully free window.
+        assert_eq!(b.free_gaps(t(50), t(60)), vec![(t(50), t(60))]);
+    }
+
+    #[test]
+    fn blanket_reserve_fills_everything() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        b.reserve(t(30), t(40)).unwrap();
+        b.blanket_reserve(t(5), t(35));
+        assert!(!b.is_free(t(5), t(6)));
+        assert!(b.free_gaps(t(5), t(35)).is_empty());
+        // Outside the blanket the link is untouched.
+        assert!(b.is_free(t(0), t(5)));
+        assert!(b.is_free(t(40), t(50)));
+        // Blanketing an already-covered span is a no-op.
+        b.blanket_reserve(t(10), t(20));
+    }
+
+    #[test]
+    fn many_reservations_stay_sorted_and_disjoint() {
+        let mut b = BusyIntervals::new();
+        // Insert in scrambled order.
+        for &(s, e) in &[(50u64, 60u64), (10, 20), (30, 40), (0, 5), (70, 75)] {
+            b.reserve(t(s), t(e)).unwrap();
+        }
+        let spans: Vec<_> = b.iter().collect();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "spans out of order or overlapping: {spans:?}");
+        }
+        assert_eq!(spans.len(), 5);
+    }
+}

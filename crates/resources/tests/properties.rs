@@ -1,0 +1,189 @@
+//! Property-based tests for the resource substrate.
+//!
+//! These check the structural invariants that the scheduler relies on:
+//! busy intervals stay disjoint and sorted, gap search returns genuinely
+//! free and genuinely earliest slots, and capacity answers agree between
+//! the probe (`earliest_hold_start`) and the commit (`reserve`).
+
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_model::units::Bytes;
+use dstage_resources::interval::BusyIntervals;
+use dstage_resources::timeline::CapacityTimeline;
+use proptest::prelude::*;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+/// Arbitrary disjoint busy sets built by attempting random reservations.
+fn busy_set(attempts: Vec<(u64, u64)>) -> BusyIntervals {
+    let mut b = BusyIntervals::new();
+    for (s, len) in attempts {
+        let start = t(s % 10_000);
+        let end = t((s % 10_000) + 1 + len % 500);
+        let _ = b.reserve(start, end);
+    }
+    b
+}
+
+proptest! {
+    #[test]
+    fn busy_intervals_stay_sorted_and_disjoint(attempts in prop::collection::vec((0u64..10_000, 0u64..500), 0..40)) {
+        let b = busy_set(attempts);
+        let spans: Vec<_> = b.iter().collect();
+        for w in spans.windows(2) {
+            // Strictly increasing and non-touching (abutting spans merge).
+            prop_assert!(w[0].1 < w[1].0, "spans {:?} not disjoint/merged", spans);
+        }
+        for (s, e) in spans {
+            prop_assert!(s < e);
+        }
+    }
+
+    #[test]
+    fn reserve_reports_overlap_iff_not_free(
+        attempts in prop::collection::vec((0u64..10_000, 0u64..500), 0..30),
+        probe_start in 0u64..11_000,
+        probe_len in 1u64..600,
+    ) {
+        let mut b = busy_set(attempts);
+        let start = t(probe_start);
+        let end = t(probe_start + probe_len);
+        let was_free = b.is_free(start, end);
+        let result = b.reserve(start, end);
+        prop_assert_eq!(was_free, result.is_ok());
+    }
+
+    #[test]
+    fn earliest_gap_is_free_and_earliest(
+        attempts in prop::collection::vec((0u64..10_000, 0u64..500), 0..30),
+        ready in 0u64..11_000,
+        len in 1u64..600,
+        limit in 0u64..20_000,
+    ) {
+        let b = busy_set(attempts);
+        let duration = SimDuration::from_millis(len);
+        let limit = t(limit);
+        match b.earliest_gap(t(ready), duration, limit) {
+            Some(start) => {
+                let end = start + duration;
+                prop_assert!(start >= t(ready));
+                prop_assert!(end <= limit);
+                prop_assert!(b.is_free(start, end), "reported gap not free");
+                // Earliest: one millisecond earlier must not fit (unless
+                // that would violate the ready time).
+                if start > t(ready) {
+                    let earlier = SimTime::from_millis(start.as_millis() - 1);
+                    prop_assert!(
+                        !b.is_free(earlier, earlier + duration),
+                        "a strictly earlier start also fits"
+                    );
+                }
+            }
+            None => {
+                // Exhaustive check: no start in [ready, limit-len] fits.
+                // (Bounded domain keeps this tractable.)
+                let ready_ms = ready;
+                let Some(latest) = limit.as_millis().checked_sub(len) else {
+                    return Ok(());
+                };
+                for s in ready_ms..=latest.min(ready_ms + 12_000) {
+                    let cs = t(s);
+                    prop_assert!(
+                        !b.is_free(cs, cs + duration),
+                        "earliest_gap returned None but start {} fits", s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_gap_monotone_in_ready(
+        attempts in prop::collection::vec((0u64..10_000, 0u64..500), 0..30),
+        ready in 0u64..10_000,
+        advance in 0u64..2_000,
+        len in 1u64..600,
+    ) {
+        // The FIFO property the Dijkstra correctness argument rests on:
+        // a later ready time never yields an earlier slot.
+        let b = busy_set(attempts);
+        let duration = SimDuration::from_millis(len);
+        let g1 = b.earliest_gap(t(ready), duration, SimTime::from_millis(50_000));
+        let g2 = b.earliest_gap(t(ready + advance), duration, SimTime::from_millis(50_000));
+        match (g1, g2) {
+            (Some(a), Some(b_)) => prop_assert!(a <= b_),
+            (None, Some(_)) => prop_assert!(false, "later ready found a slot an earlier one missed"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn timeline_usage_never_negative_and_peak_consistent(
+        cap in 1_000u64..100_000,
+        reservations in prop::collection::vec((0u64..5_000, 1u64..2_000, 1u64..50_000), 0..30),
+        probe in 0u64..8_000,
+    ) {
+        let mut tl = CapacityTimeline::new(Bytes::new(cap));
+        for (from, len, size) in reservations {
+            let _ = tl.reserve(Bytes::new(size), t(from), t(from + len));
+        }
+        // Accepted reservations never exceed capacity anywhere.
+        let peak = tl.peak_usage(SimTime::ZERO, t(10_000));
+        prop_assert!(peak.as_u64() <= cap, "peak {} exceeds cap {}", peak, cap);
+        // Point usage is bounded by span peak.
+        let at = tl.used_at(t(probe));
+        prop_assert!(at <= tl.peak_usage(t(probe), t(probe + 1)).max(at));
+        prop_assert!(tl.peak_usage(t(probe), t(probe + 1)) == at);
+    }
+
+    #[test]
+    fn earliest_hold_start_agrees_with_can_hold(
+        cap in 1_000u64..50_000,
+        reservations in prop::collection::vec((0u64..5_000, 1u64..2_000, 1u64..20_000), 0..20),
+        size in 1u64..30_000,
+        from in 0u64..6_000,
+        len in 1u64..3_000,
+    ) {
+        let mut tl = CapacityTimeline::new(Bytes::new(cap));
+        for (f, l, s) in reservations {
+            let _ = tl.reserve(Bytes::new(s), t(f), t(f + l));
+        }
+        let until = t(from + len);
+        let size = Bytes::new(size);
+        match tl.earliest_hold_start(size, t(from), until) {
+            Some(start) => {
+                prop_assert!(start >= t(from));
+                prop_assert!(tl.can_hold(size, start, until), "probe start not actually feasible");
+                if start > t(from) {
+                    let earlier = SimTime::from_millis(start.as_millis() - 1);
+                    prop_assert!(
+                        !tl.can_hold(size, earlier, until),
+                        "a strictly earlier hold start also fits"
+                    );
+                }
+                // Committing at the probed start must succeed.
+                let mut tl2 = tl.clone();
+                prop_assert!(tl2.reserve(size, start, until).is_ok());
+            }
+            None => {
+                prop_assert!(!tl.can_hold(size, t(from), until));
+            }
+        }
+    }
+
+    #[test]
+    fn reserve_is_all_or_nothing(
+        cap in 1_000u64..20_000,
+        reservations in prop::collection::vec((0u64..3_000, 1u64..1_000, 1u64..25_000), 1..25),
+    ) {
+        let mut tl = CapacityTimeline::new(Bytes::new(cap));
+        for (f, l, s) in reservations {
+            let before = tl.clone();
+            if tl.reserve(Bytes::new(s), t(f), t(f + l)).is_err() {
+                // Failed reservations leave the timeline untouched.
+                prop_assert_eq!(&tl, &before);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [OPTIONS] [EXPERIMENT...]
+//!
+//! EXPERIMENT: fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions fault-tolerance congestion | all
+//!             (default: all)
+//!
+//! OPTIONS:
+//!   --cases N     number of random test cases (default 40, the paper's)
+//!   --small       use the scaled-down generator config (fast smoke run)
+//!   --out DIR     write <experiment>.txt and CSV series to DIR
+//!                 (default: results/)
+//!   --quiet       suppress progress logging
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dstage_sim::experiments::{self, ExperimentReport};
+use dstage_sim::runner::Harness;
+use dstage_workload::GeneratorConfig;
+
+struct Options {
+    cases: usize,
+    small: bool,
+    out: PathBuf,
+    quiet: bool,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        cases: 40,
+        small: false,
+        out: PathBuf::from("results"),
+        quiet: false,
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                let value = args.next().ok_or("--cases needs a number")?;
+                options.cases =
+                    value.parse().map_err(|_| format!("invalid case count {value:?}"))?;
+            }
+            "--small" => options.small = true,
+            "--out" => {
+                options.out = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+            }
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            other => options.experiments.push(other.to_string()),
+        }
+    }
+    if options.experiments.is_empty() || options.experiments.iter().any(|e| e == "all") {
+        options.experiments =
+            ["fig2", "fig3", "fig4", "fig5", "weights", "prio-first", "minmax", "exec", "extensions", "fault-tolerance", "congestion"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+    }
+    Ok(options)
+}
+
+fn run_experiment(
+    name: &str,
+    harness: &Harness,
+    options: &Options,
+) -> Option<ExperimentReport> {
+    match name {
+        "fig2" => Some(experiments::fig2(harness)),
+        "fig3" => Some(experiments::fig3(harness)),
+        "fig4" => Some(experiments::fig4(harness)),
+        "fig5" => Some(experiments::fig5(harness)),
+        "weights" => Some(experiments::weights(harness)),
+        "prio-first" | "prio_first" => Some(experiments::prio_first(harness)),
+        "minmax" => Some(experiments::minmax(harness)),
+        "exec" => Some(experiments::exec(harness)),
+        "extensions" => Some(experiments::extensions(harness)),
+        "fault-tolerance" | "fault_tolerance" => {
+            let base = if options.small {
+                GeneratorConfig::small()
+            } else {
+                GeneratorConfig::paper()
+            };
+            Some(experiments::fault_tolerance(&base, options.cases.min(10)))
+        }
+        "congestion" => {
+            let base = if options.small {
+                GeneratorConfig::small()
+            } else {
+                GeneratorConfig::paper()
+            };
+            // Congestion sweeps 4x the load; a reduced case count keeps it
+            // tractable while staying statistically meaningful.
+            Some(experiments::congestion(&base, options.cases.min(10)))
+        }
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: figures [--cases N] [--small] [--out DIR] [--quiet] \
+                 [fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions fault-tolerance congestion | all]"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let config = if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
+    let mut harness = Harness::new(&config, options.cases);
+    harness.set_verbose(!options.quiet);
+    if !options.quiet {
+        eprintln!(
+            "[figures] {} cases at {} scale -> {}",
+            options.cases,
+            if options.small { "small" } else { "paper" },
+            options.out.display()
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&options.out) {
+        eprintln!("error: cannot create {}: {e}", options.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    for name in &options.experiments {
+        let started = std::time::Instant::now();
+        let Some(report) = run_experiment(name, &harness, &options) else {
+            eprintln!("error: unknown experiment {name:?}");
+            return ExitCode::FAILURE;
+        };
+        let text = report.to_text();
+        println!("{text}");
+        let txt_path = options.out.join(format!("{}.txt", report.id));
+        if let Err(e) =
+            std::fs::File::create(&txt_path).and_then(|mut f| f.write_all(text.as_bytes()))
+        {
+            eprintln!("error: cannot write {}: {e}", txt_path.display());
+            return ExitCode::FAILURE;
+        }
+        for (file, csv) in report.csv_files() {
+            let path = options.out.join(file);
+            if let Err(e) =
+                std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes()))
+            {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if !options.quiet {
+            eprintln!("[figures] {name} done in {:.1?}", started.elapsed());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,120 @@
+//! Exports generated test cases (and optionally a schedule for each) as
+//! JSON, so the workload can be consumed by external tools or inspected
+//! by hand.
+//!
+//! ```text
+//! scenarios [OPTIONS]
+//!
+//! OPTIONS:
+//!   --seed N      export the single scenario with this seed (default 0)
+//!   --suite N     export seeds 0..N instead (one file per seed)
+//!   --small       use the scaled-down generator config
+//!   --schedule    also schedule each scenario (full_one + C4) and embed
+//!                 the resulting transfers/deliveries
+//!   --out DIR     output directory (default: scenarios/)
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_model::scenario::Scenario;
+use dstage_workload::{generate, GeneratorConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Export<'a> {
+    seed: u64,
+    scenario: &'a Scenario,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    schedule: Option<dstage_core::schedule::Schedule>,
+}
+
+struct Options {
+    seeds: Vec<u64>,
+    small: bool,
+    schedule: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut seed = 0u64;
+    let mut suite: Option<u64> = None;
+    let mut options =
+        Options { seeds: vec![], small: false, schedule: false, out: PathBuf::from("scenarios") };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--suite" => {
+                suite = Some(
+                    args.next()
+                        .ok_or("--suite needs a count")?
+                        .parse()
+                        .map_err(|e| format!("invalid count: {e}"))?,
+                );
+            }
+            "--small" => options.small = true,
+            "--schedule" => options.schedule = true,
+            "--out" => options.out = PathBuf::from(args.next().ok_or("--out needs a directory")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    options.seeds = match suite {
+        Some(n) => (0..n).collect(),
+        None => vec![seed],
+    };
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: scenarios [--seed N | --suite N] [--small] [--schedule] [--out DIR]"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    let config = if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
+    if let Err(e) = std::fs::create_dir_all(&options.out) {
+        eprintln!("error: cannot create {}: {e}", options.out.display());
+        return ExitCode::FAILURE;
+    }
+    for &seed in &options.seeds {
+        let scenario = generate(&config, seed);
+        let schedule = options.schedule.then(|| {
+            run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best())
+                .schedule
+        });
+        let export = Export { seed, scenario: &scenario, schedule };
+        let json = match serde_json::to_string_pretty(&export) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: serialization failed for seed {seed}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = options.out.join(format!("scenario-{seed:03}.json"));
+        if let Err(e) =
+            std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes()))
+        {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,188 @@
+//! Schedules a scenario from a JSON file (as produced by the `scenarios`
+//! exporter or hand-written) and prints the outcome: deliveries,
+//! per-class statistics, and a per-link timeline.
+//!
+//! ```text
+//! stage <scenario.json> [OPTIONS]
+//!
+//! OPTIONS:
+//!   --heuristic H   partial | full-one (default) | full-all
+//!   --criterion C   C1 | C2 | C3 | C4 (default) | C3f
+//!   --ratio X       log10 of the E-U ratio (default 2)
+//!   --weights W     1,5,10 | 1,10,100 (default)
+//!   --timeline      print the per-link schedule timeline
+//!   --json          print the schedule as JSON instead of text
+//! ```
+
+use std::process::ExitCode;
+
+use dstage_core::cost::{CostCriterion, EuWeights};
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_model::request::PriorityWeights;
+use dstage_model::scenario::Scenario;
+use dstage_sim::report::render_schedule_timeline;
+
+struct Options {
+    path: String,
+    heuristic: Heuristic,
+    criterion: CostCriterion,
+    ratio: f64,
+    weights: PriorityWeights,
+    timeline: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        path: String::new(),
+        heuristic: Heuristic::FullPathOneDestination,
+        criterion: CostCriterion::C4,
+        ratio: 2.0,
+        weights: PriorityWeights::paper_1_10_100(),
+        timeline: false,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--heuristic" => {
+                options.heuristic = match args.next().as_deref() {
+                    Some("partial") => Heuristic::PartialPath,
+                    Some("full-one") | Some("full_one") => Heuristic::FullPathOneDestination,
+                    Some("full-all") | Some("full_all") => Heuristic::FullPathAllDestinations,
+                    other => return Err(format!("unknown heuristic {other:?}")),
+                };
+            }
+            "--criterion" => {
+                options.criterion = match args.next().as_deref() {
+                    Some("C1") | Some("c1") => CostCriterion::C1,
+                    Some("C2") | Some("c2") => CostCriterion::C2,
+                    Some("C3") | Some("c3") => CostCriterion::C3,
+                    Some("C4") | Some("c4") => CostCriterion::C4,
+                    Some("C3f") | Some("c3f") => CostCriterion::C3Floor,
+                    other => return Err(format!("unknown criterion {other:?}")),
+                };
+            }
+            "--ratio" => {
+                options.ratio = args
+                    .next()
+                    .ok_or("--ratio needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid ratio: {e}"))?;
+            }
+            "--weights" => {
+                options.weights = match args.next().as_deref() {
+                    Some("1,5,10") => PriorityWeights::paper_1_5_10(),
+                    Some("1,10,100") => PriorityWeights::paper_1_10_100(),
+                    other => return Err(format!("unknown weighting {other:?}")),
+                };
+            }
+            "--timeline" => options.timeline = true,
+            "--json" => options.json = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => {
+                if !options.path.is_empty() {
+                    return Err("exactly one scenario file expected".into());
+                }
+                options.path = other.to_string();
+            }
+        }
+    }
+    if options.path.is_empty() {
+        return Err("a scenario file is required".into());
+    }
+    Ok(options)
+}
+
+/// Accepts either a bare `Scenario` JSON or the `scenarios` exporter's
+/// wrapper object with a `scenario` field.
+fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(s) = serde_json::from_str::<Scenario>(&text) {
+        return Ok(s);
+    }
+    #[derive(serde::Deserialize)]
+    struct Wrapper {
+        scenario: Scenario,
+    }
+    serde_json::from_str::<Wrapper>(&text)
+        .map(|w| w.scenario)
+        .map_err(|e| format!("{path} is not a scenario JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: stage <scenario.json> [--heuristic partial|full-one|full-all] \
+                 [--criterion C1|C2|C3|C4|C3f] [--ratio X] [--weights 1,5,10|1,10,100] \
+                 [--timeline] [--json]"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    let scenario = match load_scenario(&options.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = HeuristicConfig {
+        criterion: options.criterion,
+        eu: EuWeights::from_log10_ratio(options.ratio),
+        priority_weights: options.weights.clone(),
+        caching: true,
+    };
+    let outcome = run(&scenario, options.heuristic, &config);
+    if let Err(e) = outcome.schedule.validate(&scenario) {
+        eprintln!("internal error: produced schedule failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if options.json {
+        match serde_json::to_string_pretty(&outcome.schedule) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let eval = outcome.schedule.evaluate(&scenario, &options.weights);
+    println!(
+        "{} + {} @ ratio 10^{}: weighted sum {} ({} of {} requests satisfied)",
+        options.heuristic,
+        options.criterion,
+        options.ratio,
+        eval.weighted_sum,
+        eval.satisfied_count,
+        eval.request_count
+    );
+    for (level, (sat, total)) in eval
+        .satisfied_by_priority
+        .iter()
+        .zip(eval.total_by_priority.iter())
+        .enumerate()
+    {
+        println!("  priority {level}: {sat}/{total}");
+    }
+    println!(
+        "  {} transfers, {} Dijkstra runs, {:.1} ms",
+        outcome.metrics.transfers_committed,
+        outcome.metrics.dijkstra_runs,
+        outcome.metrics.elapsed.as_secs_f64() * 1_000.0
+    );
+    if options.timeline {
+        println!();
+        println!("{}", render_schedule_timeline(&scenario, &outcome.schedule, 100));
+    }
+    ExitCode::SUCCESS
+}

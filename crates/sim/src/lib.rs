@@ -1,0 +1,40 @@
+//! Experiment harness reproducing the simulation study of the ICDCS 2000
+//! data staging paper (Figures 2–5 plus the §5.4 text results).
+//!
+//! The paper evaluates eleven heuristic/cost-criterion pairs on 40
+//! randomly generated test cases, sweeping the E-U ratio over
+//! `log10 ∈ {−3 … 5}` plus both extremes, under two priority weightings.
+//! [`runner::Harness`] owns the generated cases and caches every
+//! (scheduler × weighting × E-U point) result; the [`experiments`] module
+//! renders each paper artifact from those cached series.
+//!
+//! # Examples
+//!
+//! Regenerate a small-scale Figure 5:
+//!
+//! ```
+//! use dstage_sim::experiments::fig5;
+//! use dstage_sim::runner::Harness;
+//! use dstage_workload::GeneratorConfig;
+//!
+//! let harness = Harness::new(&GeneratorConfig::small(), 2);
+//! let report = fig5(&harness);
+//! println!("{}", report.to_text());
+//! ```
+//!
+//! The `figures` binary drives the full 40-case paper configuration:
+//! `cargo run --release -p dstage-sim --bin figures -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod sweep;
+
+pub use experiments::ExperimentReport;
+pub use runner::{Harness, SchedulerKind, Weighting};
+pub use stats::Stats;
+pub use sweep::EuRatioPoint;

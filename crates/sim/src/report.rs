@@ -1,0 +1,309 @@
+//! Plain-text rendering of experiment results: aligned ASCII tables, CSV
+//! series, and a small ASCII line plot for figure-shaped data.
+
+use std::fmt::Write as _;
+
+/// A rectangular result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data (each row has `columns.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let render = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:>w$} |", w = w);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", render(&self.columns, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// One line of a figure: a label plus y-values (one per x position).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// y-values, one per x tick (NaN for missing points).
+    pub values: Vec<f64>,
+}
+
+/// Renders figure-shaped data (several series over shared x ticks) as an
+/// ASCII plot, mirroring the paper's figures closely enough to eyeball
+/// crossovers. Each series is drawn with its own glyph.
+///
+/// # Panics
+///
+/// Panics if a series length does not match `x_labels`, or no finite
+/// value exists.
+#[must_use]
+pub fn ascii_plot(title: &str, x_labels: &[String], series: &[Series], height: usize) -> String {
+    assert!(!series.is_empty());
+    for s in series {
+        assert_eq!(s.values.len(), x_labels.len(), "series {} has wrong length", s.label);
+    }
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let finite: Vec<f64> =
+        series.iter().flat_map(|s| s.values.iter().copied()).filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(lo.is_finite() && hi.is_finite(), "no finite values to plot");
+    let span = if (hi - lo).abs() < f64::EPSILON { 1.0 } else { hi - lo };
+    let height = height.max(4);
+    let col_width = 6usize;
+    let width = x_labels.len() * col_width;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, v) in s.values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let y = ((v - lo) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            let col = xi * col_width + col_width / 2;
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let _ = writeln!(
+        out,
+        "   legend: {}",
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}={}", GLYPHS[i % GLYPHS.len()], s.label))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for (ri, row) in grid.iter().enumerate() {
+        let y_val = hi - (hi - lo) * ri as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_val:>9.0} |{line}");
+    }
+    let mut axis = String::new();
+    for label in x_labels {
+        let _ = write!(axis, "{label:^col_width$}", col_width = col_width);
+    }
+    let _ = writeln!(out, "{:>9}  {}", "", "-".repeat(width));
+    let _ = writeln!(out, "{:>9}  {axis}", "");
+    out
+}
+
+/// Renders a schedule as a per-link timeline (a text Gantt chart): one
+/// row per virtual link that carried at least one transfer, with each
+/// transfer drawn as a bar over a common time axis.
+///
+/// Handy for eyeballing contention: serialized transfers on one link show
+/// up as adjacent bars.
+#[must_use]
+pub fn render_schedule_timeline(
+    scenario: &dstage_model::scenario::Scenario,
+    schedule: &dstage_core::schedule::Schedule,
+    width: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let width = width.max(20);
+    let transfers = schedule.transfers();
+    let mut out = String::new();
+    if transfers.is_empty() {
+        let _ = writeln!(out, "(empty schedule)");
+        return out;
+    }
+    let t0 = transfers.iter().map(|t| t.start).min().expect("non-empty");
+    let t1 = transfers.iter().map(|t| t.arrival).max().expect("non-empty");
+    let span = (t1.as_millis() - t0.as_millis()).max(1);
+    let col = |at: dstage_model::time::SimTime| -> usize {
+        ((at.as_millis() - t0.as_millis()) as u128 * (width as u128 - 1) / span as u128) as usize
+    };
+    let mut links: Vec<_> = transfers.iter().map(|t| t.link).collect();
+    links.sort();
+    links.dedup();
+    let _ = writeln!(out, "schedule timeline [{t0} .. {t1}], one row per used link:");
+    for link in links {
+        let mut row = vec![' '; width];
+        for t in transfers.iter().filter(|t| t.link == link) {
+            let (a, b) = (col(t.start), col(t.arrival).max(col(t.start)));
+            let glyph = char::from_digit((t.item.index() % 36) as u32, 36).unwrap_or('#');
+            for cell in row.iter_mut().take(b + 1).skip(a) {
+                *cell = glyph;
+            }
+        }
+        let vl = scenario.network().link(link);
+        let label = format!(
+            "{link} {}->{}",
+            scenario.network().machine(vl.source()).name(),
+            scenario.network().machine(vl.destination()).name()
+        );
+        let _ = writeln!(out, "{label:>24} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>24}  (bars are item ids, base-36)", "");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("demo", vec!["x".into(), "y".into()]);
+        t.push_row(vec!["1".into(), "long-value".into()]);
+        t.push_row(vec!["22".into(), "b".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_table_aligns_columns() {
+        let text = sample_table().to_ascii();
+        assert!(text.contains("## demo"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Title + header + separator + two rows.
+        assert_eq!(lines.len(), 5);
+        let widths: Vec<usize> = lines[1..].iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn plot_renders_all_series() {
+        let x: Vec<String> = ["-1", "0", "1"].iter().map(|s| s.to_string()).collect();
+        let plot = ascii_plot(
+            "fig",
+            &x,
+            &[
+                Series { label: "up".into(), values: vec![1.0, 2.0, 3.0] },
+                Series { label: "down".into(), values: vec![3.0, 2.0, 1.0] },
+            ],
+            8,
+        );
+        assert!(plot.contains("*=up"));
+        assert!(plot.contains("o=down"));
+        assert!(plot.matches('*').count() >= 3);
+    }
+
+    #[test]
+    fn plot_tolerates_nan_points() {
+        let x: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let plot = ascii_plot(
+            "fig",
+            &x,
+            &[Series { label: "s".into(), values: vec![f64::NAN, 1.0] }],
+            5,
+        );
+        assert!(plot.contains("s"));
+    }
+
+    #[test]
+    fn timeline_renders_used_links() {
+        use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+        let scenario = dstage_workload::small::two_hop_chain();
+        let out = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+        let text = render_schedule_timeline(&scenario, &out.schedule, 60);
+        assert!(text.contains("schedule timeline"));
+        assert!(text.contains("m0->m1"));
+        assert!(text.contains("m1->m2"));
+        // Two items scheduled: glyphs 0 and 1 both appear.
+        assert!(text.contains('0'));
+        assert!(text.contains('1'));
+    }
+
+    #[test]
+    fn timeline_of_empty_schedule() {
+        let scenario = dstage_workload::small::no_requests();
+        let text =
+            render_schedule_timeline(&scenario, &dstage_core::schedule::Schedule::default(), 40);
+        assert!(text.contains("empty schedule"));
+    }
+
+    #[test]
+    fn plot_handles_constant_series() {
+        let x: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let plot =
+            ascii_plot("flat", &x, &[Series { label: "s".into(), values: vec![2.0, 2.0] }], 5);
+        assert!(plot.contains("## flat"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Summary statistics over the 40 test cases.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / min / max / sample standard deviation of one measured series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "statistics need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            let var =
+                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            var.sqrt()
+        };
+        Stats { mean, min, max, std_dev, n }
+    }
+
+    /// Statistics over integer samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_u64(samples: &[u64]) -> Self {
+        let as_f64: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        Stats::from_samples(&as_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::from_samples(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        // Sample std dev of this classic set is sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_u64_matches() {
+        let a = Stats::from_u64(&[1, 2, 3]);
+        let b = Stats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        let _ = Stats::from_samples(&[]);
+    }
+}

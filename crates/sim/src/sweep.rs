@@ -1,0 +1,92 @@
+//! The E-U ratio sweep of the simulation study (§5.3–5.4).
+
+use dstage_core::cost::EuWeights;
+use serde::{Deserialize, Serialize};
+
+/// One x-axis point of Figures 2–5: `log10(W_E/W_U)`, or one of the two
+/// extremes (`+inf` = effective priority only, `−inf` = urgency only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EuRatioPoint {
+    /// Urgency-only extreme (`W_E = 0`).
+    NegInf,
+    /// Finite point: `W_E/W_U = 10^x`.
+    Log10(i32),
+    /// Priority-only extreme (`W_U = 0`).
+    PosInf,
+}
+
+impl EuRatioPoint {
+    /// The paper's eleven sweep points: `−inf, −3 … 5, +inf`.
+    pub const PAPER_SWEEP: [EuRatioPoint; 11] = [
+        EuRatioPoint::NegInf,
+        EuRatioPoint::Log10(-3),
+        EuRatioPoint::Log10(-2),
+        EuRatioPoint::Log10(-1),
+        EuRatioPoint::Log10(0),
+        EuRatioPoint::Log10(1),
+        EuRatioPoint::Log10(2),
+        EuRatioPoint::Log10(3),
+        EuRatioPoint::Log10(4),
+        EuRatioPoint::Log10(5),
+        EuRatioPoint::PosInf,
+    ];
+
+    /// The `W_E`/`W_U` weights this point stands for.
+    #[must_use]
+    pub fn weights(self) -> EuWeights {
+        match self {
+            EuRatioPoint::NegInf => EuWeights::urgency_only(),
+            EuRatioPoint::Log10(x) => EuWeights::from_log10_ratio(f64::from(x)),
+            EuRatioPoint::PosInf => EuWeights::priority_only(),
+        }
+    }
+
+    /// Axis label, as in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            EuRatioPoint::NegInf => "-inf".to_string(),
+            EuRatioPoint::Log10(x) => x.to_string(),
+            EuRatioPoint::PosInf => "inf".to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for EuRatioPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_eleven_points_in_axis_order() {
+        let pts = EuRatioPoint::PAPER_SWEEP;
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0], EuRatioPoint::NegInf);
+        assert_eq!(pts[10], EuRatioPoint::PosInf);
+        for (i, p) in pts[1..10].iter().enumerate() {
+            assert_eq!(*p, EuRatioPoint::Log10(i as i32 - 3));
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_axis() {
+        assert_eq!(EuRatioPoint::NegInf.label(), "-inf");
+        assert_eq!(EuRatioPoint::Log10(-3).label(), "-3");
+        assert_eq!(EuRatioPoint::Log10(0).label(), "0");
+        assert_eq!(EuRatioPoint::PosInf.label(), "inf");
+    }
+
+    #[test]
+    fn weights_resolve_correctly() {
+        assert_eq!(EuRatioPoint::NegInf.weights().w_e, 0.0);
+        assert_eq!(EuRatioPoint::PosInf.weights().w_u, 0.0);
+        let w = EuRatioPoint::Log10(2).weights();
+        assert!((w.w_e - 100.0).abs() < 1e-9);
+        assert_eq!(w.w_u, 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Generator configuration (the parameters of §5.3).
+
+use core::ops::RangeInclusive;
+
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_model::units::Bytes;
+
+/// All tunables of the random scenario generator, defaulting to the
+/// paper's §5.3 values. Every distribution is uniform over its range, as
+/// in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of machines (paper: 10–12).
+    pub machines: RangeInclusive<usize>,
+    /// Per-machine storage capacity (paper: 10 MB – 20 GB).
+    pub storage: RangeInclusive<u64>,
+    /// Outbound degree of each machine: number of *machines* it can send
+    /// to directly (paper: 4–7).
+    pub out_degree: RangeInclusive<usize>,
+    /// Maximum physical unidirectional links between an ordered machine
+    /// pair (paper: 2). The generator picks uniformly in `1..=max`.
+    pub max_links_per_pair: usize,
+    /// Requests as a multiple of the machine count (paper: 20–40×).
+    pub request_factor: RangeInclusive<u32>,
+    /// Maximum initial sources per item (paper: 5).
+    pub max_sources: usize,
+    /// Maximum destinations per item (paper: 5).
+    pub max_destinations: usize,
+    /// Data item size in bytes (paper: 10 KB – 100 MB).
+    pub item_size: RangeInclusive<u64>,
+    /// Physical link bandwidth in bit/s (paper: 10 Kbit/s – 1.5 Mbit/s).
+    pub bandwidth: RangeInclusive<u64>,
+    /// Virtual-link window durations to draw from (paper: 30 m, 1 h, 2 h,
+    /// 4 h).
+    pub window_durations: Vec<SimDuration>,
+    /// Percent of the day a physical link is available, in steps of 10
+    /// (paper: 50–100 %).
+    pub availability_percent: RangeInclusive<u32>,
+    /// Latest item availability time (paper: within the first 60 minutes).
+    pub item_start_max: SimTime,
+    /// Deadline offset after the item's availability (paper: 15–60 min).
+    pub deadline_offset: RangeInclusive<u64>,
+    /// Number of priority levels (paper: 3 — low/medium/high).
+    pub priority_levels: u8,
+    /// Garbage-collection delay γ (paper: 6 minutes).
+    pub gc_delay: SimDuration,
+    /// Scheduling horizon (paper: effectively 2 hours).
+    pub horizon: SimTime,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            machines: 10..=12,
+            storage: 10_000_000..=20_000_000_000,
+            out_degree: 4..=7,
+            max_links_per_pair: 2,
+            request_factor: 20..=40,
+            max_sources: 5,
+            max_destinations: 5,
+            item_size: 10_000..=100_000_000,
+            bandwidth: 10_000..=1_500_000,
+            window_durations: vec![
+                SimDuration::from_mins(30),
+                SimDuration::from_hours(1),
+                SimDuration::from_hours(2),
+                SimDuration::from_hours(4),
+            ],
+            availability_percent: 50..=100,
+            item_start_max: SimTime::from_mins(60),
+            deadline_offset: 15..=60, // minutes
+            priority_levels: 3,
+            gc_delay: SimDuration::from_mins(6),
+            horizon: SimTime::from_hours(2),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// The paper's configuration (same as `Default`).
+    #[must_use]
+    pub fn paper() -> Self {
+        GeneratorConfig::default()
+    }
+
+    /// A scaled-down configuration for fast unit tests and benches:
+    /// 5–6 machines, ~8 requests per machine, smaller items.
+    #[must_use]
+    pub fn small() -> Self {
+        GeneratorConfig {
+            machines: 5..=6,
+            out_degree: 2..=4,
+            request_factor: 6..=10,
+            item_size: 10_000..=5_000_000,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Scales the request load, the paper's "congestion of the network"
+    /// future-work knob: `factor` multiplies the request-per-machine
+    /// range.
+    #[must_use]
+    pub fn with_congestion(mut self, factor: f64) -> Self {
+        let lo = (*self.request_factor.start() as f64 * factor).round().max(1.0) as u32;
+        let hi = (*self.request_factor.end() as f64 * factor).round().max(1.0) as u32;
+        self.request_factor = lo..=hi.max(lo);
+        self
+    }
+
+    /// Storage in [`Bytes`] form.
+    #[must_use]
+    pub(crate) fn storage_range(&self) -> (Bytes, Bytes) {
+        (Bytes::new(*self.storage.start()), Bytes::new(*self.storage.end()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = GeneratorConfig::default();
+        assert_eq!(c.machines, 10..=12);
+        assert_eq!(c.out_degree, 4..=7);
+        assert_eq!(c.max_links_per_pair, 2);
+        assert_eq!(c.request_factor, 20..=40);
+        assert_eq!(c.max_sources, 5);
+        assert_eq!(c.max_destinations, 5);
+        assert_eq!(c.item_size, 10_000..=100_000_000);
+        assert_eq!(c.bandwidth, 10_000..=1_500_000);
+        assert_eq!(c.window_durations.len(), 4);
+        assert_eq!(c.availability_percent, 50..=100);
+        assert_eq!(c.gc_delay, SimDuration::from_mins(6));
+        assert_eq!(c.horizon, SimTime::from_hours(2));
+        assert_eq!(c.priority_levels, 3);
+    }
+
+    #[test]
+    fn congestion_scales_request_factor() {
+        let c = GeneratorConfig::default().with_congestion(0.5);
+        assert_eq!(c.request_factor, 10..=20);
+        let c = GeneratorConfig::default().with_congestion(2.0);
+        assert_eq!(c.request_factor, 40..=80);
+    }
+}

@@ -1,0 +1,176 @@
+//! Random scenario generation for the data staging simulation study.
+//!
+//! [`generate`] reproduces the test-case generator of §5.3: 10–12
+//! machines with 10 MB–20 GB storage, outbound degrees 4–7 with at most
+//! two physical links per ordered pair (strong connectivity guaranteed),
+//! virtual-link windows drawn from {30 m, 1 h, 2 h, 4 h} covering 50–100 %
+//! of a day, 10 Kbit/s–1.5 Mbit/s bandwidths, 20–40 requests per machine
+//! over items of 10 KB–100 MB with ≤5 sources/≤5 destinations, deadlines
+//! 15–60 minutes after availability, γ = 6 minutes, 2-hour horizon.
+//!
+//! Everything is driven by an explicit seed: the paper's "40 randomly
+//! generated test cases" are exactly `(0..40).map(|s| generate(&config, s))`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dstage_workload::{generate, GeneratorConfig};
+//!
+//! let scenario = generate(&GeneratorConfig::small(), 0);
+//! assert!(scenario.network().is_strongly_connected());
+//! assert!(scenario.request_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod links;
+pub mod requests;
+pub mod satcom;
+pub mod small;
+pub mod topology;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dstage_model::link::VirtualLink;
+use dstage_model::machine::Machine;
+use dstage_model::network::NetworkBuilder;
+use dstage_model::scenario::Scenario;
+use dstage_model::units::{BitsPerSec, Bytes};
+
+pub use config::GeneratorConfig;
+
+/// Generates one random scenario.
+///
+/// Deterministic in `(config, seed)`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (fewer than 2 machines, an
+/// empty window-duration list, or more sources than machines).
+#[must_use]
+pub fn generate(config: &GeneratorConfig, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let machines = rng.gen_range(config.machines.clone());
+    assert!(machines >= 2, "a staging network needs at least two machines");
+    assert!(!config.window_durations.is_empty(), "no window durations configured");
+
+    // Machines with uniform storage capacities.
+    let mut builder = NetworkBuilder::new();
+    let (cap_lo, cap_hi) = config.storage_range();
+    for i in 0..machines {
+        let capacity = Bytes::new(rng.gen_range(cap_lo.as_u64()..=cap_hi.as_u64()));
+        builder.add_machine(Machine::new(format!("machine-{i:02}"), capacity));
+    }
+
+    // Physical topology (strongly connected), then virtual links.
+    let physical = topology::generate_topology(config, machines, &mut rng);
+    for link in &physical {
+        let bandwidth = BitsPerSec::new(links::draw_bandwidth(config, &mut rng));
+        for window in links::generate_windows(config, &mut rng) {
+            builder.add_link(VirtualLink::new(
+                dstage_model::ids::MachineId::new(link.from as u32),
+                dstage_model::ids::MachineId::new(link.to as u32),
+                window.start,
+                window.end,
+                bandwidth,
+            ));
+        }
+    }
+
+    // Items and requests.
+    let factor = rng.gen_range(config.request_factor.clone());
+    let total_requests = machines * factor as usize;
+    let generated = requests::generate_items(config, machines, total_requests, &mut rng);
+
+    let mut scenario = Scenario::builder(builder.build())
+        .gc_delay(config.gc_delay)
+        .horizon(config.horizon);
+    for g in &generated {
+        scenario = scenario.add_item(g.item.clone());
+    }
+    for g in &generated {
+        scenario = scenario.add_requests(g.requests.iter().copied());
+    }
+    scenario.build().expect("generator invariants guarantee a valid scenario")
+}
+
+/// Generates the paper's 40-test-case suite (seeds `0..40`) under the
+/// given configuration.
+#[must_use]
+pub fn paper_test_cases(config: &GeneratorConfig) -> Vec<Scenario> {
+    (0..40).map(|seed| generate(config, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GeneratorConfig::small();
+        let a = generate(&config, 17);
+        let b = generate(&config, 17);
+        assert_eq!(a.request_count(), b.request_count());
+        assert_eq!(a.item_count(), b.item_count());
+        assert_eq!(a.network().machine_count(), b.network().machine_count());
+        assert_eq!(a.network().link_count(), b.network().link_count());
+        // Spot-check one deep value.
+        if a.request_count() > 0 {
+            let ra = a.request(dstage_model::ids::RequestId::new(0));
+            let rb = b.request(dstage_model::ids::RequestId::new(0));
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = GeneratorConfig::paper();
+        let a = generate(&config, 0);
+        let b = generate(&config, 1);
+        // Extremely unlikely to coincide in request count AND link count.
+        assert!(
+            a.request_count() != b.request_count()
+                || a.network().link_count() != b.network().link_count()
+        );
+    }
+
+    #[test]
+    fn paper_scale_invariants() {
+        let config = GeneratorConfig::paper();
+        for seed in 0..5 {
+            let s = generate(&config, seed);
+            let m = s.network().machine_count();
+            assert!((10..=12).contains(&m), "seed {seed}");
+            assert!(s.network().is_strongly_connected(), "seed {seed}");
+            let requests = s.request_count();
+            assert!(
+                (20 * m..=40 * m).contains(&requests),
+                "seed {seed}: {requests} requests on {m} machines"
+            );
+            for (_, item) in s.items() {
+                assert!(!item.sources().is_empty());
+            }
+            // Every request's destination is not a source of its item.
+            for (_, r) in s.requests() {
+                assert!(!s.item(r.item()).has_source(r.destination()));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_test_cases_returns_forty() {
+        // Use the small config to keep the test fast.
+        let cases = paper_test_cases(&GeneratorConfig::small());
+        assert_eq!(cases.len(), 40);
+    }
+
+    #[test]
+    fn congestion_knob_changes_load() {
+        let light = generate(&GeneratorConfig::small().with_congestion(0.5), 3);
+        let heavy = generate(&GeneratorConfig::small().with_congestion(3.0), 3);
+        assert!(heavy.request_count() > light.request_count());
+    }
+}

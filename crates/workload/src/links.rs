@@ -1,0 +1,201 @@
+//! Virtual-link window generation (§5.3).
+//!
+//! For each physical link: draw a window duration from {30 m, 1 h, 2 h,
+//! 4 h} and an availability percentage (50–100 % of a 24-hour day in steps
+//! of 10). The number of virtual links is `floor(available_time /
+//! duration)`. The first window starts within the first third of the total
+//! unavailable time; the gaps between windows are positive and sum (with
+//! the lead-in and tail) to the unavailable time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dstage_model::time::SimTime;
+
+use crate::config::GeneratorConfig;
+
+/// One generated availability window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+}
+
+/// Generates the virtual-link windows of one physical link.
+///
+/// Guarantees: at least one window; windows are disjoint, ordered, all of
+/// the drawn duration, and all inside the 24-hour day.
+pub fn generate_windows(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<Window> {
+    const DAY_MS: u64 = 24 * 3_600_000;
+    let duration = config.window_durations[rng.gen_range(0..config.window_durations.len())];
+    let lo = *config.availability_percent.start();
+    let hi = *config.availability_percent.end();
+    debug_assert!(lo >= 1 && hi <= 100 && lo <= hi);
+    // Steps of ten percent, per the paper.
+    let steps = (hi - lo) / 10;
+    let percent = lo + 10 * rng.gen_range(0..=steps);
+    let available_ms = DAY_MS * u64::from(percent) / 100;
+    let count = (available_ms / duration.as_millis()).max(1);
+    let busy_ms = count * duration.as_millis();
+    let unavailable_ms = DAY_MS.saturating_sub(busy_ms);
+
+    // Lead-in: uniform in [0, unavailable/3].
+    let lead_in = if unavailable_ms == 0 { 0 } else { rng.gen_range(0..=unavailable_ms / 3) };
+    // Distribute the remaining unavailable time over `count - 1` positive
+    // gaps plus a tail: draw random weights, scale to a random fraction of
+    // the remaining budget so the tail stays positive too.
+    let mut gaps = vec![0u64; count as usize - 1];
+    let budget = unavailable_ms - lead_in;
+    if !gaps.is_empty() && budget > gaps.len() as u64 {
+        let weights: Vec<u64> = (0..gaps.len()).map(|_| rng.gen_range(1..=1_000u64)).collect();
+        let total: u64 = weights.iter().sum();
+        // Spend between half and all of the budget on inter-window gaps,
+        // reserving one millisecond per gap so every gap is positive.
+        let spend_frac = rng.gen_range(500..=1_000u64);
+        let spend = budget * spend_frac / 1_000;
+        let reserve = gaps.len() as u64;
+        let distributable = spend.saturating_sub(reserve);
+        for (gap, w) in gaps.iter_mut().zip(&weights) {
+            *gap = 1 + distributable * w / total.max(1);
+        }
+        // Guard against rounding pushing us past the budget.
+        let mut overshoot = gaps.iter().sum::<u64>().saturating_sub(budget);
+        for gap in gaps.iter_mut().rev() {
+            if overshoot == 0 {
+                break;
+            }
+            let cut = overshoot.min(gap.saturating_sub(1));
+            *gap -= cut;
+            overshoot -= cut;
+        }
+    } else if !gaps.is_empty() {
+        // Tiny budget: give every gap its minimum if possible.
+        let per = (budget / gaps.len() as u64).max(if budget > 0 { 1 } else { 0 });
+        for gap in &mut gaps {
+            *gap = per.min(1.max(per));
+        }
+        // Clamp to the budget.
+        let mut acc = 0u64;
+        for gap in &mut gaps {
+            if acc + *gap > budget {
+                *gap = budget.saturating_sub(acc);
+            }
+            acc += *gap;
+        }
+    }
+
+    let mut windows = Vec::with_capacity(count as usize);
+    let mut cursor = lead_in;
+    for i in 0..count as usize {
+        let start = cursor;
+        let end = start + duration.as_millis();
+        windows.push(Window {
+            start: SimTime::from_millis(start),
+            end: SimTime::from_millis(end),
+        });
+        cursor = end + gaps.get(i).copied().unwrap_or(0);
+    }
+    debug_assert!(windows.last().is_none_or(|w| w.end.as_millis() <= DAY_MS));
+    windows
+}
+
+/// The drawn per-physical-link bandwidth (uniform over the configured
+/// range); all virtual links of a physical link share it.
+pub fn draw_bandwidth(config: &GeneratorConfig, rng: &mut StdRng) -> u64 {
+    rng.gen_range(config.bandwidth.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const DAY_MS: u64 = 24 * 3_600_000;
+
+    #[test]
+    fn windows_are_disjoint_ordered_and_inside_the_day() {
+        let config = GeneratorConfig::default();
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let windows = generate_windows(&config, &mut rng);
+            assert!(!windows.is_empty(), "seed {seed}");
+            for w in &windows {
+                assert!(w.start < w.end, "seed {seed}");
+                assert!(w.end.as_millis() <= DAY_MS, "seed {seed}");
+            }
+            let busy: u64 =
+                windows.iter().map(|w| w.end.as_millis() - w.start.as_millis()).sum();
+            for pair in windows.windows(2) {
+                if busy < DAY_MS {
+                    // Unavailable time exists: gaps must be positive.
+                    assert!(pair[0].end < pair[1].start, "seed {seed}: gap must be positive");
+                } else {
+                    // 100 % availability: windows abut.
+                    assert!(pair[0].end <= pair[1].start, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_windows_share_one_duration() {
+        let config = GeneratorConfig::default();
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let windows = generate_windows(&config, &mut rng);
+            let d0 = windows[0].end - windows[0].start;
+            assert!(config.window_durations.contains(&d0), "seed {seed}");
+            for w in &windows {
+                assert_eq!(w.end - w.start, d0, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn busy_time_approximates_chosen_percentage() {
+        // Across many seeds the fraction of the day covered by windows
+        // must stay within the configured percentage band (50-100 %),
+        // up to one window of rounding.
+        let config = GeneratorConfig::default();
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let windows = generate_windows(&config, &mut rng);
+            let busy: u64 = windows
+                .iter()
+                .map(|w| w.end.as_millis() - w.start.as_millis())
+                .sum();
+            let duration = windows[0].end.as_millis() - windows[0].start.as_millis();
+            // floor(available / duration) * duration >= available - duration
+            assert!(busy + duration >= DAY_MS / 2, "seed {seed}: busy {busy}");
+            assert!(busy <= DAY_MS, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lead_in_within_first_third_of_unavailable_time() {
+        let config = GeneratorConfig::default();
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let windows = generate_windows(&config, &mut rng);
+            let busy: u64 =
+                windows.iter().map(|w| w.end.as_millis() - w.start.as_millis()).sum();
+            let unavailable = DAY_MS - busy;
+            assert!(
+                windows[0].start.as_millis() <= unavailable / 3 + 1,
+                "seed {seed}: lead-in too large"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_in_configured_range() {
+        let config = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let bw = draw_bandwidth(&config, &mut rng);
+            assert!((10_000..=1_500_000).contains(&bw));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Data item and request generation (§5.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dstage_model::data::{DataItem, DataSource};
+use dstage_model::ids::{DataItemId, MachineId};
+use dstage_model::request::{Priority, Request};
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_model::units::Bytes;
+
+use crate::config::GeneratorConfig;
+
+/// One generated item together with its requests (request item ids are
+/// filled in by the caller once the item is added to the scenario).
+#[derive(Debug, Clone)]
+pub struct GeneratedItem {
+    /// The item (name, size, sources).
+    pub item: DataItem,
+    /// Requests to register for the item.
+    pub requests: Vec<Request>,
+}
+
+/// Generates items until the total number of requests reaches
+/// `total_requests` (the paper's 20–40 requests per machine).
+///
+/// Per item: 1–5 sources, 1–5 destinations (sources and destinations are
+/// disjoint machine sets), size uniform in the configured range,
+/// availability within the first hour, per-request deadline 15–60 minutes
+/// after availability, per-request uniform priority.
+pub fn generate_items(
+    config: &GeneratorConfig,
+    machines: usize,
+    total_requests: usize,
+    rng: &mut StdRng,
+) -> Vec<GeneratedItem> {
+    let mut out = Vec::new();
+    let mut produced = 0usize;
+    let mut item_index = 0usize;
+    while produced < total_requests {
+        let remaining = total_requests - produced;
+        let max_src = config.max_sources.min(machines - 1).max(1);
+        let n_sources = rng.gen_range(1..=max_src);
+        let max_dst = config
+            .max_destinations
+            .min(machines - n_sources)
+            .min(remaining)
+            .max(1);
+        let n_dests = rng.gen_range(1..=max_dst);
+
+        let mut ids: Vec<usize> = (0..machines).collect();
+        ids.shuffle(rng);
+        let sources: Vec<usize> = ids[..n_sources].to_vec();
+        let dests: Vec<usize> = ids[n_sources..n_sources + n_dests].to_vec();
+
+        let size = Bytes::new(rng.gen_range(config.item_size.clone()));
+        let available_at =
+            SimTime::from_millis(rng.gen_range(0..=config.item_start_max.as_millis()));
+
+        let item = DataItem::new(
+            format!("item-{item_index:04}"),
+            size,
+            sources
+                .iter()
+                .map(|&s| DataSource::new(MachineId::new(s as u32), available_at))
+                .collect(),
+        );
+        let item_id = DataItemId::new(item_index as u32);
+        let requests = dests
+            .iter()
+            .map(|&d| {
+                let offset_min = rng.gen_range(config.deadline_offset.clone());
+                let deadline = available_at + SimDuration::from_mins(offset_min);
+                let priority = Priority::new(rng.gen_range(0..config.priority_levels));
+                Request::new(item_id, MachineId::new(d as u32), deadline, priority)
+            })
+            .collect::<Vec<_>>();
+        produced += requests.len();
+        out.push(GeneratedItem { item, requests });
+        item_index += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn request_budget_is_met_exactly_or_not_exceeded_per_item_cap() {
+        let config = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = generate_items(&config, 11, 220, &mut rng);
+        let total: usize = items.iter().map(|g| g.requests.len()).sum();
+        assert_eq!(total, 220, "generation clamps the final item's destinations");
+    }
+
+    #[test]
+    fn sources_and_destinations_are_disjoint() {
+        let config = GeneratorConfig::default();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let items = generate_items(&config, 11, 100, &mut rng);
+            for g in &items {
+                for r in &g.requests {
+                    assert!(
+                        !g.item.has_source(r.destination()),
+                        "seed {seed}: destination is also a source"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cardinalities_respect_paper_bounds() {
+        let config = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let items = generate_items(&config, 11, 300, &mut rng);
+        for g in &items {
+            assert!((1..=5).contains(&g.item.sources().len()));
+            assert!((1..=5).contains(&g.requests.len()));
+            let size = g.item.size().as_u64();
+            assert!((10_000..=100_000_000).contains(&size));
+        }
+    }
+
+    #[test]
+    fn deadlines_are_15_to_60_minutes_after_availability() {
+        let config = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let items = generate_items(&config, 11, 200, &mut rng);
+        for g in &items {
+            let avail = g.item.earliest_availability().unwrap();
+            assert!(avail <= SimTime::from_mins(60));
+            for r in &g.requests {
+                let offset = r.deadline() - avail;
+                assert!(offset >= SimDuration::from_mins(15));
+                assert!(offset <= SimDuration::from_mins(60));
+            }
+        }
+    }
+
+    #[test]
+    fn priorities_cover_all_three_levels() {
+        let config = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = generate_items(&config, 11, 300, &mut rng);
+        let mut seen = [false; 3];
+        for g in &items {
+            for r in &g.requests {
+                seen[r.priority().level() as usize] = true;
+            }
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn same_item_requests_can_differ_in_priority_and_deadline() {
+        let config = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(10);
+        let items = generate_items(&config, 11, 300, &mut rng);
+        let multi = items.iter().filter(|g| g.requests.len() >= 2);
+        let mut found_differing = false;
+        for g in multi {
+            let p0 = g.requests[0].priority();
+            if g.requests.iter().any(|r| r.priority() != p0) {
+                found_differing = true;
+            }
+        }
+        assert!(found_differing, "priorities are per-request, not per-item");
+    }
+}

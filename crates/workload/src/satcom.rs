@@ -1,0 +1,250 @@
+//! A BADD-flavoured structured workload family.
+//!
+//! The paper's motivating system "combines terrestrial cable and fiber
+//! with commercial VSAT internet and commercial broadcast" (§1). The
+//! §5.3 generator is topology-agnostic; this module generates the
+//! *structured* variant: well-connected rear sites on fat terrestrial
+//! links, a theater hub reached over an intermittent satellite trunk, and
+//! forward spokes on slow VSAT links. Items originate at rear sites;
+//! requests come from the forward spokes.
+//!
+//! Useful for examples and for stressing staging through a mandatory
+//! bottleneck (the trunk) — a regime the uniform random topology rarely
+//! produces.
+
+use core::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dstage_model::data::{DataItem, DataSource};
+use dstage_model::ids::{DataItemId, MachineId};
+use dstage_model::link::VirtualLink;
+use dstage_model::machine::Machine;
+use dstage_model::network::NetworkBuilder;
+use dstage_model::request::{Priority, Request};
+use dstage_model::scenario::Scenario;
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_model::units::{BitsPerSec, Bytes};
+
+/// Tunables of the satcom workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatcomConfig {
+    /// Rear (CONUS) sites holding the data (default 3).
+    pub rear_sites: usize,
+    /// Forward spokes making requests (default 6).
+    pub spokes: usize,
+    /// Terrestrial link bandwidth between rear sites (default 1.5 Mbit/s).
+    pub terrestrial: BitsPerSec,
+    /// Satellite trunk bandwidth rear ↔ hub (default 512 Kbit/s).
+    pub trunk: BitsPerSec,
+    /// VSAT bandwidth hub ↔ spoke (default 64 Kbit/s).
+    pub vsat: BitsPerSec,
+    /// Satellite trunk pass duration (default 15 minutes).
+    pub trunk_window: SimDuration,
+    /// Gap between trunk passes (default 15 minutes).
+    pub trunk_gap: SimDuration,
+    /// Number of data items (default 30).
+    pub items: usize,
+    /// Requests per spoke (default 8).
+    pub requests_per_spoke: usize,
+    /// Item sizes (default 100 KB – 12 MB; sized to oversubscribe the VSAT hops).
+    pub item_size: RangeInclusive<u64>,
+    /// Deadline offset after item availability, minutes (default 20–90).
+    pub deadline_offset_mins: RangeInclusive<u64>,
+    /// Scheduling horizon (default 2 hours).
+    pub horizon: SimTime,
+}
+
+impl Default for SatcomConfig {
+    fn default() -> Self {
+        SatcomConfig {
+            rear_sites: 3,
+            spokes: 6,
+            terrestrial: BitsPerSec::from_mbps(1),
+            trunk: BitsPerSec::from_kbps(512),
+            vsat: BitsPerSec::from_kbps(64),
+            trunk_window: SimDuration::from_mins(15),
+            trunk_gap: SimDuration::from_mins(15),
+            items: 30,
+            requests_per_spoke: 10,
+            item_size: 100_000..=12_000_000,
+            deadline_offset_mins: 20..=90,
+            horizon: SimTime::from_hours(2),
+        }
+    }
+}
+
+/// Generates a satcom scenario. Deterministic in `(config, seed)`.
+///
+/// Topology (machine ids in order): rear sites `0..R`, the hub `R`, and
+/// spokes `R+1 ..= R+S`.
+///
+/// * rear sites: full bidirectional terrestrial mesh, always up;
+/// * rear ↔ hub: a bidirectional satellite trunk, up during periodic
+///   passes (`trunk_window` on, `trunk_gap` off) — each pass is one
+///   virtual link per direction per rear site;
+/// * hub ↔ spokes: always-up but slow VSAT links, both directions.
+///
+/// # Panics
+///
+/// Panics if `rear_sites` or `spokes` is zero.
+#[must_use]
+pub fn generate_satcom(config: &SatcomConfig, seed: u64) -> Scenario {
+    assert!(config.rear_sites > 0, "at least one rear site required");
+    assert!(config.spokes > 0, "at least one spoke required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+
+    for i in 0..config.rear_sites {
+        b.add_machine(Machine::new(format!("rear-{i}"), Bytes::from_gib(20)));
+    }
+    let hub = b.add_machine(Machine::new("hub", Bytes::from_mib(512)));
+    let mut spokes = Vec::with_capacity(config.spokes);
+    for i in 0..config.spokes {
+        spokes.push(b.add_machine(Machine::new(format!("spoke-{i}"), Bytes::from_mib(64))));
+    }
+
+    let horizon = config.horizon;
+    // Rear mesh.
+    for i in 0..config.rear_sites {
+        for j in 0..config.rear_sites {
+            if i != j {
+                b.add_link(VirtualLink::new(
+                    MachineId::new(i as u32),
+                    MachineId::new(j as u32),
+                    SimTime::ZERO,
+                    horizon,
+                    config.terrestrial,
+                ));
+            }
+        }
+    }
+    // Satellite trunk passes between every rear site and the hub.
+    let period = config.trunk_window.as_millis() + config.trunk_gap.as_millis();
+    assert!(period > 0, "trunk window plus gap must be positive");
+    let mut pass_start = SimTime::ZERO;
+    while pass_start < horizon {
+        let pass_end = pass_start.saturating_add(config.trunk_window).min(horizon);
+        if pass_end > pass_start {
+            for i in 0..config.rear_sites {
+                let rear = MachineId::new(i as u32);
+                b.add_link(VirtualLink::new(rear, hub, pass_start, pass_end, config.trunk));
+                b.add_link(VirtualLink::new(hub, rear, pass_start, pass_end, config.trunk));
+            }
+        }
+        pass_start = pass_start.saturating_add(SimDuration::from_millis(period));
+    }
+    // VSAT spokes.
+    for &spoke in &spokes {
+        b.add_link(VirtualLink::new(hub, spoke, SimTime::ZERO, horizon, config.vsat));
+        b.add_link(VirtualLink::new(spoke, hub, SimTime::ZERO, horizon, config.vsat));
+    }
+
+    // Items at rear sites; requests from spokes.
+    let mut scenario = Scenario::builder(b.build()).horizon(horizon);
+    for i in 0..config.items {
+        let n_sources = rng.gen_range(1..=config.rear_sites.min(3));
+        let mut rear_ids: Vec<usize> = (0..config.rear_sites).collect();
+        // Fisher-Yates prefix.
+        for k in 0..n_sources {
+            let j = rng.gen_range(k..rear_ids.len());
+            rear_ids.swap(k, j);
+        }
+        let available = SimTime::from_mins(rng.gen_range(0..=30));
+        scenario = scenario.add_item(DataItem::new(
+            format!("intel-{i:03}"),
+            Bytes::new(rng.gen_range(config.item_size.clone())),
+            rear_ids[..n_sources]
+                .iter()
+                .map(|&r| DataSource::new(MachineId::new(r as u32), available))
+                .collect(),
+        ));
+    }
+    let mut requests = Vec::new();
+    for &spoke in &spokes {
+        let mut wanted: Vec<usize> = Vec::new();
+        while wanted.len() < config.requests_per_spoke.min(config.items) {
+            let item = rng.gen_range(0..config.items);
+            if !wanted.contains(&item) {
+                wanted.push(item);
+            }
+        }
+        for item in wanted {
+            let item_id = DataItemId::new(item as u32);
+            let available = SimTime::from_mins(0); // bound below by item start
+            let offset = rng.gen_range(config.deadline_offset_mins.clone());
+            let deadline = available + SimDuration::from_mins(offset + 30);
+            let priority = Priority::new(rng.gen_range(0..3));
+            requests.push(Request::new(item_id, spoke, deadline, priority));
+        }
+    }
+    scenario.add_requests(requests).build().expect("satcom construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satcom_builds_and_is_strongly_connected() {
+        let s = generate_satcom(&SatcomConfig::default(), 0);
+        assert!(s.network().is_strongly_connected());
+        // 3 rear + hub + 6 spokes.
+        assert_eq!(s.network().machine_count(), 10);
+        assert_eq!(s.request_count(), 60);
+        assert_eq!(s.item_count(), 30);
+    }
+
+    #[test]
+    fn trunk_is_windowed_and_vsat_is_not() {
+        let config = SatcomConfig::default();
+        let s = generate_satcom(&config, 1);
+        let hub = MachineId::new(config.rear_sites as u32);
+        let mut trunk_links = 0;
+        let mut always_up_from_hub = 0;
+        for (_, link) in s.network().links() {
+            if link.destination() == hub && link.source().index() < config.rear_sites {
+                trunk_links += 1;
+                assert_eq!(link.window(), SimDuration::from_mins(15));
+            }
+            if link.source() == hub && link.window() == SimDuration::from_hours(2) {
+                always_up_from_hub += 1;
+            }
+        }
+        // 4 passes in 2 h (15 on / 15 off) x 3 rear sites.
+        assert_eq!(trunk_links, 12);
+        assert_eq!(always_up_from_hub, config.spokes);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_satcom(&SatcomConfig::default(), 9);
+        let b = generate_satcom(&SatcomConfig::default(), 9);
+        assert_eq!(a.request_count(), b.request_count());
+        for (ra, rb) in a.requests().zip(b.requests()) {
+            assert_eq!(ra.1, rb.1);
+        }
+    }
+
+    #[test]
+    fn requests_come_only_from_spokes() {
+        let config = SatcomConfig::default();
+        let s = generate_satcom(&config, 3);
+        for (_, r) in s.requests() {
+            assert!(r.destination().index() > config.rear_sites, "destination must be a spoke");
+        }
+    }
+
+    #[test]
+    fn items_live_only_on_rear_sites() {
+        let config = SatcomConfig::default();
+        let s = generate_satcom(&config, 4);
+        for (_, item) in s.items() {
+            assert!(!item.sources().is_empty());
+            for src in item.sources() {
+                assert!(src.machine.index() < config.rear_sites);
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Small, fully deterministic scenarios used by tests, examples, and
+//! documentation.
+//!
+//! Each constructor documents the intended schedule-ability so tests can
+//! assert exact outcomes.
+
+use dstage_model::prelude::*;
+
+fn m(i: u32) -> MachineId {
+    MachineId::new(i)
+}
+
+fn item(i: u32) -> DataItemId {
+    DataItemId::new(i)
+}
+
+/// A 3-machine line `m0 → m1 → m2` (1 byte/ms links, 2-hour windows) with
+/// two items stored on `m0`:
+///
+/// * item 0 (10 KB) requested by `m1` (high) and `m2` (low);
+/// * item 1 (20 KB) requested by `m2` (medium).
+///
+/// Deadlines are generous: every request is satisfiable, and satisfying
+/// all of them requires multi-hop staging through `m1`.
+#[must_use]
+pub fn two_hop_chain() -> Scenario {
+    let mut b = NetworkBuilder::new();
+    for i in 0..3 {
+        b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(4)));
+    }
+    for i in 0..2u32 {
+        b.add_link(VirtualLink::new(
+            m(i),
+            m(i + 1),
+            SimTime::ZERO,
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
+    }
+    Scenario::builder(b.build())
+        .add_item(DataItem::new(
+            "alpha",
+            Bytes::new(10_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_item(DataItem::new(
+            "bravo",
+            Bytes::new(20_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_request(Request::new(item(0), m(1), SimTime::from_mins(30), Priority::HIGH))
+        .add_request(Request::new(item(0), m(2), SimTime::from_mins(45), Priority::LOW))
+        .add_request(Request::new(item(1), m(2), SimTime::from_mins(45), Priority::MEDIUM))
+        .build()
+        .expect("two_hop_chain is valid by construction")
+}
+
+/// Two machines joined by a single 1 byte/ms link, with two 10 KB items on
+/// `m0` both requested at `m1` with 15-second deadlines.
+///
+/// Each transfer takes 10 s, so only the first one scheduled meets its
+/// deadline: the link is genuinely contended. Request 0 is high priority,
+/// request 1 low — a priority-aware scheduler must deliver request 0.
+#[must_use]
+pub fn contended_link() -> Scenario {
+    let mut b = NetworkBuilder::new();
+    for i in 0..2 {
+        b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(4)));
+    }
+    b.add_link(VirtualLink::new(
+        m(0),
+        m(1),
+        SimTime::ZERO,
+        SimTime::from_hours(2),
+        BitsPerSec::new(8_000),
+    ));
+    Scenario::builder(b.build())
+        .add_item(DataItem::new(
+            "urgent-map",
+            Bytes::new(10_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_item(DataItem::new(
+            "background-log",
+            Bytes::new(10_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_request(Request::new(item(0), m(1), SimTime::from_secs(15), Priority::HIGH))
+        .add_request(Request::new(item(1), m(1), SimTime::from_secs(15), Priority::LOW))
+        .build()
+        .expect("contended_link is valid by construction")
+}
+
+/// A hub-and-spokes network `m0 → hub → {d1, d2, d3}` with one item on
+/// `m0` requested by all three leaves (mixed priorities) and a second item
+/// requested by one leaf.
+///
+/// All requests are satisfiable; the shared `m0 → hub` edge rewards
+/// multi-destination scheduling (full path/all destinations commits the
+/// whole fan-out from one Dijkstra run).
+#[must_use]
+pub fn fan_out() -> Scenario {
+    let mut b = NetworkBuilder::new();
+    for name in ["src", "hub", "d1", "d2", "d3"] {
+        b.add_machine(Machine::new(name, Bytes::from_mib(4)));
+    }
+    let two_hours = SimTime::from_hours(2);
+    b.add_link(VirtualLink::new(m(0), m(1), SimTime::ZERO, two_hours, BitsPerSec::new(8_000)));
+    for leaf in 2..5u32 {
+        b.add_link(VirtualLink::new(m(1), m(leaf), SimTime::ZERO, two_hours, BitsPerSec::new(8_000)));
+    }
+    Scenario::builder(b.build())
+        .add_item(DataItem::new(
+            "weather",
+            Bytes::new(10_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_item(DataItem::new(
+            "orders",
+            Bytes::new(5_000),
+            vec![DataSource::new(m(0), SimTime::from_secs(30))],
+        ))
+        .add_request(Request::new(item(0), m(2), SimTime::from_mins(30), Priority::HIGH))
+        .add_request(Request::new(item(0), m(3), SimTime::from_mins(30), Priority::MEDIUM))
+        .add_request(Request::new(item(0), m(4), SimTime::from_mins(30), Priority::LOW))
+        .add_request(Request::new(item(1), m(2), SimTime::from_mins(40), Priority::HIGH))
+        .build()
+        .expect("fan_out is valid by construction")
+}
+
+/// Two machines with a slow (100 byte/s) link: item 0's request has a
+/// 5-second deadline that no schedule can meet (the 10 KB transfer takes
+/// 100 s even alone), while item 1's request (deadline 30 min) is easy.
+#[must_use]
+pub fn impossible_request() -> Scenario {
+    let mut b = NetworkBuilder::new();
+    for i in 0..2 {
+        b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(4)));
+    }
+    b.add_link(VirtualLink::new(
+        m(0),
+        m(1),
+        SimTime::ZERO,
+        SimTime::from_hours(2),
+        BitsPerSec::new(800),
+    ));
+    Scenario::builder(b.build())
+        .add_item(DataItem::new(
+            "too-late",
+            Bytes::new(10_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_item(DataItem::new(
+            "easy",
+            Bytes::new(1_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_request(Request::new(item(0), m(1), SimTime::from_secs(5), Priority::HIGH))
+        .add_request(Request::new(item(1), m(1), SimTime::from_mins(30), Priority::LOW))
+        .build()
+        .expect("impossible_request is valid by construction")
+}
+
+/// A two-machine network holding one item that nobody requests.
+#[must_use]
+pub fn no_requests() -> Scenario {
+    let mut b = NetworkBuilder::new();
+    for i in 0..2 {
+        b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(4)));
+    }
+    b.add_link(VirtualLink::new(
+        m(0),
+        m(1),
+        SimTime::ZERO,
+        SimTime::from_hours(2),
+        BitsPerSec::new(8_000),
+    ));
+    Scenario::builder(b.build())
+        .add_item(DataItem::new(
+            "dormant",
+            Bytes::new(1_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .build()
+        .expect("no_requests is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_small_scenarios_build() {
+        assert_eq!(two_hop_chain().request_count(), 3);
+        assert_eq!(contended_link().request_count(), 2);
+        assert_eq!(fan_out().request_count(), 4);
+        assert_eq!(impossible_request().request_count(), 2);
+        assert_eq!(no_requests().request_count(), 0);
+    }
+
+    #[test]
+    fn contended_link_is_genuinely_contended() {
+        let s = contended_link();
+        // Two 10 s transfers, 15 s deadlines, one serial link: both cannot
+        // make it.
+        let link = s.network().link(VirtualLinkId::new(0));
+        let t0 = link.transfer_time(s.item(item(0)).size());
+        let t1 = link.transfer_time(s.item(item(1)).size());
+        assert!(t0.as_millis() + t1.as_millis() > 15_000);
+        assert!(t0.as_millis() <= 15_000);
+        assert!(t1.as_millis() <= 15_000);
+    }
+
+    #[test]
+    fn fan_out_requires_staging_through_hub() {
+        let s = fan_out();
+        // No direct links from src to leaves.
+        assert!(s.network().outgoing(m(0)).len() == 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Heuristic shootout: sweeps the E-U ratio for every heuristic/criterion
+//! pair over a handful of random scenarios and prints the resulting
+//! mini-figure — the fastest way to see the shapes of Figures 3–5 without
+//! the full 40-case run.
+//!
+//! ```text
+//! cargo run --release --example heuristic_shootout [n_cases]
+//! ```
+
+use data_staging::sim::experiments::{fig3, fig4, fig5, prio_first};
+use data_staging::sim::runner::Harness;
+use data_staging::workload::GeneratorConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_cases: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(4);
+    println!(
+        "running {n_cases} paper-scale cases per point (Figures 3-5 use 40; \
+         use the `figures` binary for the full run)\n"
+    );
+    let harness = Harness::new(&GeneratorConfig::paper(), n_cases);
+    for report in [fig3(&harness), fig4(&harness), fig5(&harness), prio_first(&harness)] {
+        println!("{}", report.to_text());
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # data-staging
+//!
+//! A Rust reproduction of *"Scheduling Heuristics for Data Requests in an
+//! Oversubscribed Network with Priorities and Deadlines"* (Theys, Tan,
+//! Beck, Siegel, Jurczyk — ICDCS 2000).
+//!
+//! The crate re-exports the whole workspace:
+//!
+//! * [`model`] — machines, virtual links, data items, requests (§3);
+//! * [`resources`] — link schedules and storage timelines;
+//! * [`path`] — the time-dependent multiple-source Dijkstra (§4.2);
+//! * [`core`] — the three heuristics, four cost criteria, bounds, and
+//!   baselines (§4.5–4.8, §5.2);
+//! * [`workload`] — the §5.3 random scenario generator;
+//! * [`sim`] — the experiment harness regenerating Figures 2–5 and the
+//!   §5.4 text results;
+//! * [`dynamic`] — the online (rolling-horizon) extension: ad-hoc request
+//!   releases, link outages, and copy losses with re-planning (the
+//!   paper's stated future work).
+//!
+//! # Examples
+//!
+//! Schedule a generated scenario with the paper's best pairing:
+//!
+//! ```
+//! use data_staging::prelude::*;
+//!
+//! let scenario = data_staging::workload::generate(
+//!     &data_staging::workload::GeneratorConfig::small(), 7);
+//! let outcome = run(&scenario, Heuristic::FullPathOneDestination,
+//!     &HeuristicConfig::paper_best());
+//! let eval = outcome.schedule.evaluate(&scenario,
+//!     &PriorityWeights::paper_1_10_100());
+//! assert!(eval.satisfied_count <= eval.request_count);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end programs and DESIGN.md for the
+//! full experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dstage_core as core;
+pub use dstage_dynamic as dynamic;
+pub use dstage_model as model;
+pub use dstage_path as path;
+pub use dstage_resources as resources;
+pub use dstage_sim as sim;
+pub use dstage_workload as workload;
+
+/// One-stop imports: the model vocabulary plus the scheduling API.
+pub mod prelude {
+    pub use dstage_core::prelude::*;
+    pub use dstage_model::prelude::*;
+}

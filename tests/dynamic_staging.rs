@@ -1,0 +1,153 @@
+//! Integration tests for the online (dynamic) staging layer against
+//! paper-style generated workloads.
+
+use data_staging::dynamic::{simulate, Event, EventKind, EventLog, OnlinePolicy};
+use data_staging::prelude::*;
+use data_staging::workload::{generate, GeneratorConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn policy() -> OnlinePolicy {
+    OnlinePolicy::paper_best()
+}
+
+/// Random disturbance mix over a generated scenario.
+fn random_events(scenario: &data_staging::model::scenario::Scenario, seed: u64) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    // Release a third of the requests over the first half hour.
+    for (req_id, _) in scenario.requests() {
+        if rng.gen_bool(1.0 / 3.0) {
+            let at = SimTime::from_secs(rng.gen_range(1..1_800));
+            events.push(Event::new(at, EventKind::Release(req_id)));
+        }
+    }
+    // A couple of link outages.
+    for _ in 0..2 {
+        let link = VirtualLinkId::new(rng.gen_range(0..scenario.network().link_count()) as u32);
+        events.push(Event::new(
+            SimTime::from_secs(rng.gen_range(60..3_600)),
+            EventKind::LinkOutage(link),
+        ));
+    }
+    // A few copy losses at random machines.
+    for _ in 0..3 {
+        let item = DataItemId::new(rng.gen_range(0..scenario.item_count()) as u32);
+        let machine = MachineId::new(rng.gen_range(0..scenario.network().machine_count()) as u32);
+        events.push(Event::new(
+            SimTime::from_secs(rng.gen_range(60..3_600)),
+            EventKind::CopyLoss { item, machine },
+        ));
+    }
+    EventLog::new(scenario, events).expect("generated ids are in range")
+}
+
+#[test]
+fn online_outcomes_are_deterministic() {
+    let scenario = generate(&GeneratorConfig::small(), 2);
+    let events = random_events(&scenario, 7);
+    let a = simulate(&scenario, &events, &policy());
+    let b = simulate(&scenario, &events, &policy());
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(a.cancelled, b.cancelled);
+    assert_eq!(a.replans, b.replans);
+}
+
+#[test]
+fn executed_transfers_respect_the_model_modulo_outages() {
+    // The executed schedule must replay cleanly against the *original*
+    // network: outages only remove capacity, so surviving transfers are a
+    // fortiori feasible. (Cancelled in-flight transfers are excluded by
+    // construction.)
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let events = random_events(&scenario, seed + 100);
+        let outcome = simulate(&scenario, &events, &policy());
+        // validate() also re-derives deliveries; under copy losses our
+        // survival semantics can only *shrink* that set.
+        let derived = outcome
+            .executed
+            .validate(&scenario)
+            .unwrap_or_else(|e| panic!("seed {seed}: executed schedule invalid: {e}"));
+        for d in outcome.executed.deliveries() {
+            assert!(
+                derived.iter().any(|x| x.request == d.request),
+                "seed {seed}: claimed delivery {d:?} not backed by replay"
+            );
+        }
+    }
+}
+
+#[test]
+fn disturbances_never_pay() {
+    // An online run under disturbances never beats the undisturbed static
+    // schedule of the same policy (events only remove options: outages
+    // and losses destroy capacity/data; late releases defer knowledge).
+    let w = PriorityWeights::paper_1_10_100();
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let offline = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+        let offline_sum = offline.schedule.evaluate(&scenario, &w).weighted_sum;
+        let events = random_events(&scenario, seed + 200);
+        let online = simulate(&scenario, &events, &policy());
+        let online_sum = online.executed.evaluate(&scenario, &w).weighted_sum;
+        assert!(
+            online_sum <= offline_sum,
+            "seed {seed}: online {online_sum} beat offline {offline_sum} under disturbances"
+        );
+    }
+}
+
+#[test]
+fn pure_release_events_with_zero_delay_match_static() {
+    // Releasing every request at t=0 via explicit events is the static
+    // problem.
+    let scenario = generate(&GeneratorConfig::small(), 4);
+    let events: Vec<Event> = scenario
+        .request_ids()
+        .map(|r| Event::new(SimTime::ZERO, EventKind::Release(r)))
+        .collect();
+    let log = EventLog::new(&scenario, events).unwrap();
+    let online = simulate(&scenario, &log, &policy());
+    let offline = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+    assert_eq!(online.executed.transfers(), offline.schedule.transfers());
+}
+
+#[test]
+fn cancelled_and_executed_are_disjoint() {
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let events = random_events(&scenario, seed + 300);
+        let outcome = simulate(&scenario, &events, &policy());
+        for c in &outcome.cancelled {
+            assert!(
+                !outcome.executed.transfers().contains(c),
+                "seed {seed}: transfer both cancelled and executed: {c:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn later_releases_cannot_help() {
+    // Releasing a request later (all else equal) never increases the
+    // weighted sum.
+    let w = PriorityWeights::paper_1_10_100();
+    let scenario = generate(&GeneratorConfig::small(), 6);
+    let victim = RequestId::new(0);
+    let mut last = u64::MAX;
+    for minutes in [0u64, 10, 30, 60] {
+        let log = EventLog::new(
+            &scenario,
+            vec![Event::new(SimTime::from_mins(minutes), EventKind::Release(victim))],
+        )
+        .unwrap();
+        let outcome = simulate(&scenario, &log, &policy());
+        let sum = outcome.executed.evaluate(&scenario, &w).weighted_sum;
+        assert!(
+            sum <= last,
+            "releasing {victim} at {minutes} min improved the outcome ({sum} > {last})"
+        );
+        last = sum;
+    }
+}

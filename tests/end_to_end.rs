@@ -1,0 +1,116 @@
+//! End-to-end pipeline tests: generate → schedule → validate → evaluate,
+//! for every scheduler in the workspace.
+
+use data_staging::core::baselines::{priority_first, random_dijkstra, single_dijkstra_random};
+use data_staging::core::bounds::{possible_satisfy, upper_bound};
+use data_staging::core::cost::{CostCriterion, EuWeights};
+use data_staging::prelude::*;
+use data_staging::workload::{generate, GeneratorConfig};
+
+fn config(criterion: CostCriterion, x: f64) -> HeuristicConfig {
+    HeuristicConfig {
+        criterion,
+        eu: EuWeights::from_log10_ratio(x),
+        priority_weights: PriorityWeights::paper_1_10_100(),
+        caching: true,
+    }
+}
+
+#[test]
+fn every_scheduler_produces_valid_schedules() {
+    let weights = PriorityWeights::paper_1_10_100();
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let mut outcomes = Vec::new();
+        for h in Heuristic::ALL {
+            for &c in h.criteria() {
+                outcomes.push((format!("{h}/{c}"), run(&scenario, h, &config(c, 1.0))));
+            }
+        }
+        outcomes.push(("single_dij".into(), single_dijkstra_random(&scenario, seed)));
+        outcomes.push(("random_dij".into(), random_dijkstra(&scenario, seed)));
+        outcomes.push(("priority_first".into(), priority_first(&scenario, &weights)));
+        for (name, outcome) in outcomes {
+            let derived = outcome
+                .schedule
+                .validate(&scenario)
+                .unwrap_or_else(|e| panic!("seed {seed} {name}: invalid schedule: {e}"));
+            // The scheduler's claimed deliveries must match the replay
+            // exactly (same requests).
+            let mut claimed: Vec<_> =
+                outcome.schedule.deliveries().iter().map(|d| d.request).collect();
+            let mut replayed: Vec<_> = derived.iter().map(|d| d.request).collect();
+            claimed.sort();
+            replayed.sort();
+            assert_eq!(claimed, replayed, "seed {seed} {name}: delivery set mismatch");
+        }
+    }
+}
+
+#[test]
+fn bounds_sandwich_every_scheduler() {
+    let weights = PriorityWeights::paper_1_10_100();
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let ub = upper_bound(&scenario, &weights);
+        let ps = possible_satisfy(&scenario, &weights).weighted_sum;
+        assert!(ps <= ub, "seed {seed}");
+        for h in Heuristic::ALL {
+            let out = run(&scenario, h, &config(CostCriterion::C4, 2.0));
+            let eval = out.schedule.evaluate(&scenario, &weights);
+            assert!(
+                eval.weighted_sum <= ps,
+                "seed {seed} {h}: {} > possible_satisfy {}",
+                eval.weighted_sum,
+                ps
+            );
+        }
+    }
+}
+
+#[test]
+fn heuristics_dominate_the_loose_lower_bound_on_average() {
+    let weights = PriorityWeights::paper_1_10_100();
+    let mut heuristic_total = 0u64;
+    let mut single_total = 0u64;
+    for seed in 0..4u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let h = run(&scenario, Heuristic::FullPathOneDestination, &config(CostCriterion::C4, 2.0));
+        heuristic_total += h.schedule.evaluate(&scenario, &weights).weighted_sum;
+        let s = single_dijkstra_random(&scenario, seed);
+        single_total += s.schedule.evaluate(&scenario, &weights).weighted_sum;
+    }
+    assert!(
+        heuristic_total > single_total,
+        "heuristic mean {heuristic_total} must beat single-Dijkstra {single_total}"
+    );
+}
+
+#[test]
+fn deliveries_meet_their_deadlines() {
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let out = run(&scenario, Heuristic::PartialPath, &config(CostCriterion::C2, 0.0));
+        for d in out.schedule.deliveries() {
+            let req = scenario.request(d.request);
+            assert!(d.at <= req.deadline(), "seed {seed}: delivery after deadline");
+        }
+    }
+}
+
+#[test]
+fn transfers_respect_link_windows_and_endpoints() {
+    for seed in 0..3u64 {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let out =
+            run(&scenario, Heuristic::FullPathAllDestinations, &config(CostCriterion::C4, 1.0));
+        for t in out.schedule.transfers() {
+            let link = scenario.network().link(t.link);
+            assert_eq!(link.source(), t.from);
+            assert_eq!(link.destination(), t.to);
+            assert!(t.start >= link.start(), "seed {seed}: transfer before window");
+            assert!(t.arrival <= link.end(), "seed {seed}: transfer past window");
+            assert_eq!(t.arrival, t.start + link.transfer_time(scenario.item(t.item).size()));
+        }
+    }
+}

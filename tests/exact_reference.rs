@@ -1,0 +1,94 @@
+//! Near-optimality spot checks: on tiny random instances the heuristics
+//! are compared against the exhaustive order-search reference — the
+//! comparison the paper could not run at realistic sizes (§5.1).
+
+use data_staging::core::cost::{CostCriterion, EuWeights};
+use data_staging::core::exact::best_order_schedule;
+use data_staging::prelude::*;
+use data_staging::workload::{generate, GeneratorConfig};
+
+/// A configuration small enough for the factorial reference: 4 machines,
+/// 2 requests per machine = 8 requests.
+fn tiny_config() -> GeneratorConfig {
+    GeneratorConfig {
+        machines: 4..=4,
+        out_degree: 2..=3,
+        request_factor: 2..=2,
+        item_size: 10_000..=2_000_000,
+        ..GeneratorConfig::default()
+    }
+}
+
+#[test]
+fn heuristics_never_beat_the_exact_reference_on_random_instances() {
+    let weights = PriorityWeights::paper_1_10_100();
+    for seed in 0..12u64 {
+        let scenario = generate(&tiny_config(), seed);
+        let exact = best_order_schedule(&scenario, &weights);
+        exact.schedule.validate(&scenario).unwrap();
+        for h in Heuristic::ALL {
+            for &criterion in h.criteria() {
+                let config = HeuristicConfig {
+                    criterion,
+                    eu: EuWeights::from_log10_ratio(2.0),
+                    priority_weights: weights.clone(),
+                    caching: true,
+                };
+                let out = run(&scenario, h, &config);
+                let sum = out.schedule.evaluate(&scenario, &weights).weighted_sum;
+                assert!(
+                    sum <= exact.weighted_sum,
+                    "seed {seed}: {h}/{criterion} ({sum}) beat exact ({})",
+                    exact.weighted_sum
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_pairing_is_near_optimal_on_tiny_instances() {
+    let weights = PriorityWeights::paper_1_10_100();
+    let mut heuristic_total = 0u64;
+    let mut exact_total = 0u64;
+    let mut optimal_hits = 0usize;
+    const SEEDS: u64 = 12;
+    for seed in 0..SEEDS {
+        let scenario = generate(&tiny_config(), seed);
+        let exact = best_order_schedule(&scenario, &weights);
+        let out = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+        let sum = out.schedule.evaluate(&scenario, &weights).weighted_sum;
+        heuristic_total += sum;
+        exact_total += exact.weighted_sum;
+        if sum == exact.weighted_sum {
+            optimal_hits += 1;
+        }
+    }
+    let ratio = heuristic_total as f64 / exact_total.max(1) as f64;
+    eprintln!(
+        "full_one/C4 vs exact over {SEEDS} tiny instances: \
+         {heuristic_total}/{exact_total} = {ratio:.3}, optimal on {optimal_hits}"
+    );
+    assert!(
+        ratio >= 0.85,
+        "the paper pairing should be near-optimal on tiny instances (got {ratio:.3})"
+    );
+    assert!(
+        optimal_hits * 2 >= SEEDS as usize,
+        "expected the optimum to be reached on at least half the instances"
+    );
+}
+
+#[test]
+fn exact_is_sandwiched_by_the_bounds() {
+    use data_staging::core::bounds::{possible_satisfy, upper_bound};
+    let weights = PriorityWeights::paper_1_10_100();
+    for seed in 0..12u64 {
+        let scenario = generate(&tiny_config(), seed);
+        let exact = best_order_schedule(&scenario, &weights);
+        let ub = upper_bound(&scenario, &weights);
+        let ps = possible_satisfy(&scenario, &weights).weighted_sum;
+        assert!(exact.weighted_sum <= ps, "seed {seed}");
+        assert!(ps <= ub, "seed {seed}");
+    }
+}

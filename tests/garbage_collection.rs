@@ -1,0 +1,117 @@
+//! End-to-end behaviour of garbage collection and storage pressure
+//! (paper §4.4): intermediate copies occupy storage only until γ after the
+//! item's latest deadline, after which the space is reusable.
+
+use data_staging::prelude::*;
+
+fn m(i: u32) -> MachineId {
+    MachineId::new(i)
+}
+
+fn item(i: u32) -> DataItemId {
+    DataItemId::new(i)
+}
+
+/// Network: src -> relay -> dst, with a relay whose storage fits exactly
+/// one item at a time. Item 0's request has an early deadline, item 1's a
+/// late one, so item 1 can be staged through the relay only after item 0's
+/// copy is garbage-collected.
+fn tight_relay_scenario(gamma_mins: u64) -> Scenario {
+    let mut b = NetworkBuilder::new();
+    let src = b.add_machine(Machine::new("src", Bytes::from_mib(64)));
+    let relay = b.add_machine(Machine::new("relay", Bytes::new(10_000))); // one item only
+    let dst = b.add_machine(Machine::new("dst", Bytes::from_mib(64)));
+    let horizon = SimTime::from_hours(2);
+    b.add_link(VirtualLink::new(src, relay, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
+    b.add_link(VirtualLink::new(relay, dst, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
+    Scenario::builder(b.build())
+        .gc_delay(SimDuration::from_mins(gamma_mins))
+        .add_item(DataItem::new("first", Bytes::new(10_000), vec![DataSource::new(src, SimTime::ZERO)]))
+        .add_item(DataItem::new("second", Bytes::new(10_000), vec![DataSource::new(src, SimTime::ZERO)]))
+        .add_request(Request::new(item(0), dst, SimTime::from_mins(5), Priority::HIGH))
+        .add_request(Request::new(item(1), dst, SimTime::from_mins(60), Priority::HIGH))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn second_item_waits_for_garbage_collection() {
+    let scenario = tight_relay_scenario(6);
+    let out = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+    out.schedule.validate(&scenario).unwrap();
+    // Both requests satisfiable: the relay frees item 0's slot at
+    // 5 min (deadline) + 6 min (γ) = 11 min, leaving ample time before
+    // item 1's 60-minute deadline.
+    assert_eq!(out.schedule.deliveries().len(), 2, "both requests must be satisfied");
+    // The second item's transfer through the relay must start only after
+    // the GC time of the first item.
+    let gc_first = scenario.gc_time(item(0)).unwrap();
+    let second_hop_into_relay = out
+        .schedule
+        .transfers()
+        .iter()
+        .find(|t| t.item == item(1) && t.to == m(1))
+        .expect("item 1 must be staged through the relay");
+    assert!(
+        second_hop_into_relay.start >= gc_first,
+        "item 1 entered the relay at {} before item 0's GC at {}",
+        second_hop_into_relay.start,
+        gc_first
+    );
+}
+
+#[test]
+fn longer_gamma_delays_reuse() {
+    // With γ = 50 minutes the relay frees at 55 min; item 1 (deadline 60)
+    // still fits (hops take ~10 s each). With γ pushing past the deadline
+    // minus transfer time, it must fail.
+    let ok = run(
+        &tight_relay_scenario(50),
+        Heuristic::FullPathOneDestination,
+        &HeuristicConfig::paper_best(),
+    );
+    assert_eq!(ok.schedule.deliveries().len(), 2);
+
+    let too_long = run(
+        &tight_relay_scenario(56),
+        Heuristic::FullPathOneDestination,
+        &HeuristicConfig::paper_best(),
+    );
+    // Relay frees at 5 + 56 = 61 min > deadline 60: item 1 unsatisfiable.
+    assert_eq!(too_long.schedule.deliveries().len(), 1);
+}
+
+#[test]
+fn destinations_hold_to_horizon_and_block_reuse() {
+    // If dst is also storage-tight and must hold item 0 until the horizon
+    // (destinations are never garbage-collected), item 1 cannot land.
+    let mut b = NetworkBuilder::new();
+    let src = b.add_machine(Machine::new("src", Bytes::from_mib(64)));
+    let dst = b.add_machine(Machine::new("dst", Bytes::new(10_000)));
+    let horizon = SimTime::from_hours(2);
+    b.add_link(VirtualLink::new(src, dst, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
+    let scenario = Scenario::builder(b.build())
+        .add_item(DataItem::new("a", Bytes::new(10_000), vec![DataSource::new(src, SimTime::ZERO)]))
+        .add_item(DataItem::new("b", Bytes::new(10_000), vec![DataSource::new(src, SimTime::ZERO)]))
+        .add_request(Request::new(item(0), dst, SimTime::from_mins(5), Priority::HIGH))
+        .add_request(Request::new(item(1), dst, SimTime::from_mins(60), Priority::LOW))
+        .build()
+        .unwrap();
+    let out = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+    out.schedule.validate(&scenario).unwrap();
+    assert_eq!(
+        out.schedule.deliveries().len(),
+        1,
+        "destination storage held to the horizon must block the second item"
+    );
+}
+
+#[test]
+fn gc_time_is_capped_at_horizon() {
+    let scenario = tight_relay_scenario(6);
+    for id in scenario.item_ids() {
+        if let Some(gc) = scenario.gc_time(id) {
+            assert!(gc <= scenario.horizon());
+        }
+    }
+}

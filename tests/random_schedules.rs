@@ -1,0 +1,70 @@
+//! Property-based integration tests: randomized small scenarios through
+//! the whole pipeline, with the independent replay validator as the
+//! oracle.
+
+use data_staging::core::baselines::{priority_first, random_dijkstra, single_dijkstra_random};
+use data_staging::core::cost::{CostCriterion, EuWeights};
+use data_staging::prelude::*;
+use data_staging::workload::{generate, GeneratorConfig};
+use proptest::prelude::*;
+
+fn config_for(criterion: CostCriterion, x: i32) -> HeuristicConfig {
+    HeuristicConfig {
+        criterion,
+        eu: EuWeights::from_log10_ratio(f64::from(x)),
+        priority_weights: PriorityWeights::paper_1_10_100(),
+        caching: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn heuristics_always_produce_valid_schedules(
+        seed in 0u64..10_000,
+        criterion_idx in 0usize..4,
+        x in -3i32..=5,
+        heuristic_idx in 0usize..3,
+    ) {
+        let heuristic = Heuristic::ALL[heuristic_idx];
+        let criteria = heuristic.criteria();
+        let criterion = criteria[criterion_idx % criteria.len()];
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let out = run(&scenario, heuristic, &config_for(criterion, x));
+        let derived = out.schedule.validate(&scenario).expect("schedule must replay");
+        prop_assert_eq!(derived.len(), out.schedule.deliveries().len());
+        // Weighted sum never exceeds the loose upper bound.
+        let weights = PriorityWeights::paper_1_10_100();
+        let eval = out.schedule.evaluate(&scenario, &weights);
+        let ub = data_staging::core::bounds::upper_bound(&scenario, &weights);
+        prop_assert!(eval.weighted_sum <= ub);
+    }
+
+    #[test]
+    fn baselines_always_produce_valid_schedules(seed in 0u64..10_000) {
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let weights = PriorityWeights::paper_1_5_10();
+        for outcome in [
+            single_dijkstra_random(&scenario, seed),
+            random_dijkstra(&scenario, seed),
+            priority_first(&scenario, &weights),
+        ] {
+            outcome.schedule.validate(&scenario).expect("baseline schedule must replay");
+        }
+    }
+
+    #[test]
+    fn satisfied_set_is_monotone_under_priority_weights(seed in 0u64..10_000) {
+        // Evaluating the same schedule under both weightings: the
+        // *satisfied request sets* are identical (evaluation does not
+        // reschedule), only sums differ.
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let out = run(&scenario, Heuristic::PartialPath, &config_for(CostCriterion::C4, 0));
+        let a = out.schedule.evaluate(&scenario, &PriorityWeights::paper_1_5_10());
+        let b = out.schedule.evaluate(&scenario, &PriorityWeights::paper_1_10_100());
+        prop_assert_eq!(a.satisfied_count, b.satisfied_count);
+        prop_assert_eq!(a.satisfied_by_priority, b.satisfied_by_priority);
+        prop_assert!(a.weighted_sum <= b.weighted_sum);
+    }
+}
