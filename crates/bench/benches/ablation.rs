@@ -14,10 +14,7 @@ fn bench(c: &mut Criterion) {
     // Exactness check before measuring anything.
     let with_cache = run(&scenario, Heuristic::FullPathOneDestination, &cached_cfg);
     let without = run(&scenario, Heuristic::FullPathOneDestination, &uncached_cfg);
-    assert_eq!(
-        with_cache.schedule, without.schedule,
-        "tree caching must not change the schedule"
-    );
+    assert_eq!(with_cache.schedule, without.schedule, "tree caching must not change the schedule");
     println!(
         "[ablation] identical schedules; dijkstra runs {} (cached) vs {} (uncached), \
          cache hit rate {:.1}%",

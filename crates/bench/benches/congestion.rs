@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
     for factor in [1.0_f64, 4.0] {
         let scenario = generate(&GeneratorConfig::paper().with_congestion(factor), 0);
         group.bench_function(format!("full_one/C4/{factor}x"), |b| {
-            b.iter(|| run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best()))
+            b.iter(|| {
+                run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best())
+            })
         });
     }
     group.finish();

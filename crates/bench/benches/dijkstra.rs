@@ -31,12 +31,8 @@ fn bench(c: &mut Criterion) {
     }
 
     let item0 = dstage_model::ids::DataItemId::new(0);
-    let sources: Vec<_> = scenario
-        .item(item0)
-        .sources()
-        .iter()
-        .map(|s| (s.machine, s.available_at))
-        .collect();
+    let sources: Vec<_> =
+        scenario.item(item0).sources().iter().map(|s| (s.machine, s.available_at)).collect();
     let hold = vec![SimTime::MAX; network.machine_count()];
 
     let mut group = c.benchmark_group("dijkstra");

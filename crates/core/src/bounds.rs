@@ -49,12 +49,10 @@ pub fn possible_satisfy(scenario: &Scenario, weights: &PriorityWeights) -> Possi
     let mut weighted_sum = 0u64;
     for (req_id, req) in scenario.requests() {
         let item = scenario.item(req.item());
-        let sources: Vec<_> =
-            item.sources().iter().map(|s| (s.machine, s.available_at)).collect();
+        let sources: Vec<_> = item.sources().iter().map(|s| (s.machine, s.available_at)).collect();
         // Alone in the system, the item's GC clock runs off this single
         // request's deadline.
-        let gc: SimTime =
-            (req.deadline() + scenario.gc_delay()).min(scenario.horizon());
+        let gc: SimTime = (req.deadline() + scenario.gc_delay()).min(scenario.horizon());
         let mut hold = vec![gc; m];
         hold[req.destination().index()] = scenario.horizon();
         let tree = earliest_arrival_tree(&ItemQuery {
@@ -81,8 +79,7 @@ mod tests {
     fn upper_bound_sums_all_weights() {
         let s = two_hop_chain();
         let w = PriorityWeights::paper_1_10_100();
-        let expected: u64 =
-            s.requests().map(|(_, r)| w.weight(r.priority())).sum();
+        let expected: u64 = s.requests().map(|(_, r)| w.weight(r.priority())).sum();
         assert_eq!(upper_bound(&s, &w), expected);
         assert!(expected > 0);
     }

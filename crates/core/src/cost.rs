@@ -14,7 +14,6 @@
 
 use serde::{Deserialize, Serialize};
 
-
 use dstage_model::time::SimTime;
 
 /// Urgency floor (seconds) used by [`CostCriterion::C3`] in place of an
@@ -164,18 +163,10 @@ impl DestinationCost {
     /// Computes the ingredients for one destination from its shortest-path
     /// arrival estimate `A_T`, its deadline, and its priority weight.
     #[must_use]
-    pub fn new(
-        arrival: SimTime,
-        deadline: SimTime,
-        priority_weight: u64,
-    ) -> Self {
+    pub fn new(arrival: SimTime, deadline: SimTime, priority_weight: u64) -> Self {
         let satisfiable = arrival <= deadline && arrival != SimTime::MAX;
         if !satisfiable {
-            return DestinationCost {
-                satisfiable: false,
-                effective_priority: 0.0,
-                urgency: 0.0,
-            };
+            return DestinationCost { satisfiable: false, effective_priority: 0.0, urgency: 0.0 };
         }
         let slack_secs = deadline.saturating_since(arrival).as_secs_f64();
         DestinationCost {
@@ -208,18 +199,16 @@ pub fn step_cost(
         CostCriterion::C1 => panic!("C1 is a per-destination criterion; use cost_c1"),
         CostCriterion::C2 => {
             let efp_sum: f64 = destinations.iter().map(|d| d.effective_priority).sum();
-            let max_urgency = satisfiable
-                .map(|d| d.urgency)
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max_urgency = satisfiable.map(|d| d.urgency).fold(f64::NEG_INFINITY, f64::max);
             let max_urgency = if max_urgency.is_finite() { max_urgency } else { 0.0 };
             -weights.w_e * efp_sum - weights.w_u * max_urgency
         }
         CostCriterion::C3 => satisfiable
             .map(|d| d.effective_priority / d.urgency.min(-C3_URGENCY_EPSILON_SECS))
             .sum(),
-        CostCriterion::C3Floor => satisfiable
-            .map(|d| d.effective_priority / d.urgency.min(-C3_FLOOR_SECS))
-            .sum(),
+        CostCriterion::C3Floor => {
+            satisfiable.map(|d| d.effective_priority / d.urgency.min(-C3_FLOOR_SECS)).sum()
+        }
         CostCriterion::C4 => {
             let efp_sum: f64 = destinations.iter().map(|d| d.effective_priority).sum();
             let urgency_sum: f64 = destinations.iter().map(|d| d.urgency).sum();
@@ -400,8 +389,7 @@ mod tests {
         );
         // C4 sums urgencies: item A is strictly more urgent overall.
         assert!(
-            step_cost(CostCriterion::C4, w, &item_a)
-                < step_cost(CostCriterion::C4, w, &item_b)
+            step_cost(CostCriterion::C4, w, &item_a) < step_cost(CostCriterion::C4, w, &item_b)
         );
     }
 

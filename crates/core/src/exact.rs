@@ -74,7 +74,11 @@ pub fn best_order_schedule(scenario: &Scenario, weights: &PriorityWeights) -> Ex
     ExactOutcome { schedule, weighted_sum, nodes_explored: nodes }
 }
 
-fn current_weight(scenario: &Scenario, weights: &PriorityWeights, state: &SchedulerState<'_>) -> u64 {
+fn current_weight(
+    scenario: &Scenario,
+    weights: &PriorityWeights,
+    state: &SchedulerState<'_>,
+) -> u64 {
     scenario
         .requests()
         .filter(|&(id, _)| state.is_delivered(id))
@@ -200,10 +204,7 @@ mod tests {
         for s in [two_hop_chain(), contended_link(), fan_out()] {
             let exact = best_order_schedule(&s, &weights());
             let out = run(&s, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
-            assert_eq!(
-                out.schedule.evaluate(&s, &weights()).weighted_sum,
-                exact.weighted_sum
-            );
+            assert_eq!(out.schedule.evaluate(&s, &weights()).weighted_sum, exact.weighted_sum);
         }
     }
 

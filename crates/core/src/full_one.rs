@@ -65,10 +65,7 @@ mod tests {
         let partial = run(&s, Heuristic::PartialPath, &config(CostCriterion::C4));
         assert!(full.metrics.iterations <= partial.metrics.iterations);
         // Same satisfied set on this easy scenario.
-        assert_eq!(
-            full.schedule.deliveries().len(),
-            partial.schedule.deliveries().len()
-        );
+        assert_eq!(full.schedule.deliveries().len(), partial.schedule.deliveries().len());
     }
 
     #[test]

@@ -127,8 +127,7 @@ pub struct ScheduleOutcome {
 #[must_use]
 pub fn run(scenario: &Scenario, heuristic: Heuristic, config: &HeuristicConfig) -> ScheduleOutcome {
     assert!(
-        !(heuristic == Heuristic::FullPathAllDestinations
-            && config.criterion == CostCriterion::C1),
+        !(heuristic == Heuristic::FullPathAllDestinations && config.criterion == CostCriterion::C1),
         "the full path/all destinations heuristic cannot use Cost1 (paper §6)"
     );
     let started = std::time::Instant::now();
@@ -150,14 +149,9 @@ pub fn run(scenario: &Scenario, heuristic: Heuristic, config: &HeuristicConfig) 
 ///
 /// Panics on the [`Heuristic::FullPathAllDestinations`] +
 /// [`CostCriterion::C1`] pairing, as for [`run`].
-pub fn drive_state(
-    state: &mut SchedulerState<'_>,
-    heuristic: Heuristic,
-    config: &HeuristicConfig,
-) {
+pub fn drive_state(state: &mut SchedulerState<'_>, heuristic: Heuristic, config: &HeuristicConfig) {
     assert!(
-        !(heuristic == Heuristic::FullPathAllDestinations
-            && config.criterion == CostCriterion::C1),
+        !(heuristic == Heuristic::FullPathAllDestinations && config.criterion == CostCriterion::C1),
         "the full path/all destinations heuristic cannot use Cost1 (paper §6)"
     );
     match heuristic {
@@ -238,18 +232,15 @@ pub(crate) fn lowest_cost_destination(
         .min_by(|(ra, a), (rb, b)| {
             let cost = |dc: &DestinationCost| match config.criterion {
                 CostCriterion::C3 => {
-                    dc.effective_priority
-                        / dc.urgency.min(-crate::cost::C3_URGENCY_EPSILON_SECS)
+                    dc.effective_priority / dc.urgency.min(-crate::cost::C3_URGENCY_EPSILON_SECS)
                 }
                 CostCriterion::C3Floor => {
                     dc.effective_priority / dc.urgency.min(-crate::cost::C3_FLOOR_SECS)
                 }
                 _ => cost_c1(config.eu, *dc),
             };
-            cost(a)
-                .partial_cmp(&cost(b))
-                .expect("costs are finite")
-                .then(ra.cmp(rb)) // lower request id wins ties
+            cost(a).partial_cmp(&cost(b)).expect("costs are finite").then(ra.cmp(rb))
+            // lower request id wins ties
         })
         .map(|(r, _)| r)
 }
@@ -352,8 +343,17 @@ mod tests {
             b.add_link(VirtualLink::new(x, y, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
         }
         let s = Scenario::builder(b.build())
-            .add_item(DataItem::new("d", Bytes::new(10_000), vec![DataSource::new(src, SimTime::ZERO)]))
-            .add_request(Request::new(DataItemId::new(0), da, SimTime::from_mins(60), Priority::HIGH))
+            .add_item(DataItem::new(
+                "d",
+                Bytes::new(10_000),
+                vec![DataSource::new(src, SimTime::ZERO)],
+            ))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                da,
+                SimTime::from_mins(60),
+                Priority::HIGH,
+            ))
             .add_request(Request::new(DataItemId::new(0), db, SimTime::from_mins(5), Priority::LOW))
             .build()
             .unwrap();

@@ -41,11 +41,7 @@ mod tests {
         for criterion in CostCriterion::ALL {
             let out = run(&s, Heuristic::PartialPath, &config(criterion));
             let derived = out.schedule.validate(&s).expect("schedule must replay");
-            assert_eq!(
-                derived.len(),
-                s.request_count(),
-                "criterion {criterion} missed requests"
-            );
+            assert_eq!(derived.len(), s.request_count(), "criterion {criterion} missed requests");
         }
     }
 

@@ -141,8 +141,7 @@ impl Schedule {
         let mut ledger = NetworkLedger::new(network);
         // copies[item][machine] = earliest availability there.
         let m = network.machine_count();
-        let mut copies: Vec<Vec<Option<SimTime>>> =
-            vec![vec![None; m]; scenario.item_count()];
+        let mut copies: Vec<Vec<Option<SimTime>>> = vec![vec![None; m]; scenario.item_count()];
         for (item_id, item) in scenario.items() {
             for src in item.sources() {
                 copies[item_id.index()][src.machine.index()] = Some(src.available_at);
@@ -193,12 +192,12 @@ impl Schedule {
             } else {
                 scenario.gc_time(t.item).unwrap_or(scenario.horizon())
             };
-            ledger
-                .commit_transfer(network, t.link, t.start, item.size(), hold_until)
-                .map_err(|source| ScheduleViolation::ResourceConflict {
+            ledger.commit_transfer(network, t.link, t.start, item.size(), hold_until).map_err(
+                |source| ScheduleViolation::ResourceConflict {
                     transfer: *t,
                     reason: source.to_string(),
-                })?;
+                },
+            )?;
             let slot = &mut copies[t.item.index()][t.to.index()];
             if slot.is_none_or(|existing| t.arrival < existing) {
                 *slot = Some(t.arrival);
@@ -356,14 +355,22 @@ mod tests {
         for i in 0..3 {
             b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
         }
-        b.add_link(VirtualLink::new(m(0), m(1), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
-        b.add_link(VirtualLink::new(m(1), m(2), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
+        b.add_link(VirtualLink::new(
+            m(1),
+            m(2),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
         Scenario::builder(b.build())
-            .add_item(DataItem::new(
-                "d0",
-                Bytes::new(10_000),
-                vec![DataSource::new(m(0), t(0))],
-            ))
+            .add_item(DataItem::new("d0", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))
             .add_request(Request::new(DataItemId::new(0), m(1), t(60), Priority::HIGH))
             .add_request(Request::new(DataItemId::new(0), m(2), t(60), Priority::LOW))
             .build()
@@ -509,7 +516,13 @@ mod tests {
         for i in 0..3 {
             b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
         }
-        b.add_link(VirtualLink::new(m(0), m(1), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
         b.add_link(VirtualLink::new(m(1), m(2), t(0), SimTime::from_hours(2), BitsPerSec::new(80)));
         let s = Scenario::builder(b.build())
             .add_item(DataItem::new("d0", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))

@@ -105,7 +105,12 @@ impl<'a> SchedulerState<'a> {
                 // Sources hold their copies for the remainder of the
                 // simulation (§5.3); placement is exogenous, so it is
                 // forced even on over-small machines.
-                ledger.force_storage(src.machine, item.size(), src.available_at, scenario.horizon());
+                ledger.force_storage(
+                    src.machine,
+                    item.size(),
+                    src.available_at,
+                    scenario.horizon(),
+                );
             }
             copies.push(item_copies);
 
@@ -315,11 +320,9 @@ impl<'a> SchedulerState<'a> {
             };
             match steps.iter_mut().find(|s| s.hop == first_hop) {
                 Some(step) => step.destinations.push(outlook),
-                None => steps.push(CandidateStep {
-                    item,
-                    hop: first_hop,
-                    destinations: vec![outlook],
-                }),
+                None => {
+                    steps.push(CandidateStep { item, hop: first_hop, destinations: vec![outlook] })
+                }
             }
         }
         steps.retain(|s| s.destinations.iter().any(|d| d.satisfiable));
@@ -422,10 +425,7 @@ impl<'a> SchedulerState<'a> {
         for hop in edges {
             // Skip hops into machines that already hold an equally early
             // copy (shared prefix with an earlier committed path).
-            if self.copies[item.index()]
-                .iter()
-                .any(|&(m, at)| m == hop.to && at <= hop.arrival)
-            {
+            if self.copies[item.index()].iter().any(|&(m, at)| m == hop.to && at <= hop.arrival) {
                 continue;
             }
             let hold = self.hold_until[item.index()][hop.to.index()];
@@ -674,9 +674,27 @@ mod tests {
         for i in 0..4 {
             b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
         }
-        b.add_link(VirtualLink::new(m(0), m(1), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
-        b.add_link(VirtualLink::new(m(1), m(2), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
-        b.add_link(VirtualLink::new(m(1), m(3), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
+        b.add_link(VirtualLink::new(
+            m(1),
+            m(2),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
+        b.add_link(VirtualLink::new(
+            m(1),
+            m(3),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
         let s = Scenario::builder(b.build())
             .add_item(DataItem::new("d0", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))
             .add_request(Request::new(item(0), m(2), t(3_000), Priority::HIGH))
@@ -700,8 +718,20 @@ mod tests {
         for i in 0..4 {
             b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
         }
-        b.add_link(VirtualLink::new(m(0), m(1), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
-        b.add_link(VirtualLink::new(m(2), m(3), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
+        b.add_link(VirtualLink::new(
+            m(2),
+            m(3),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
         let s = Scenario::builder(b.build())
             .add_item(DataItem::new("a", Bytes::new(1_000), vec![DataSource::new(m(0), t(0))]))
             .add_item(DataItem::new("b", Bytes::new(1_000), vec![DataSource::new(m(2), t(0))]))
@@ -731,7 +761,13 @@ mod tests {
         for i in 0..2 {
             b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
         }
-        b.add_link(VirtualLink::new(m(0), m(1), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
         let s = Scenario::builder(b.build())
             .add_item(DataItem::new("a", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))
             .add_item(DataItem::new("b", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))
@@ -771,7 +807,13 @@ mod tests {
         for i in 0..2 {
             b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
         }
-        b.add_link(VirtualLink::new(m(0), m(1), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
         let s = Scenario::builder(b.build())
             .add_item(DataItem::new("a", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))
             .add_request(Request::new(item(0), m(1), t(1), Priority::HIGH))
@@ -802,7 +844,7 @@ mod tests {
         let s = line_scenario();
         let mut st = SchedulerState::new(&s);
         st.commit_path(item(0), m(2)); // copies at m1 (t=10), m2 (t=20)
-        // A loss at t=15 kills the m1 copy but not one arriving later.
+                                       // A loss at t=15 kills the m1 copy but not one arriving later.
         assert!(st.remove_copies(item(0), m(1), t(15)));
         assert!(!st.remove_copies(item(0), m(1), t(15)), "already gone");
         // Losing at m2 before its arrival removes nothing.
@@ -875,7 +917,13 @@ mod tests {
         for i in 0..2 {
             b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(1)));
         }
-        b.add_link(VirtualLink::new(m(0), m(1), t(0), SimTime::from_hours(2), BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            t(0),
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
         let s = Scenario::builder(b.build())
             .add_item(DataItem::new("a", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))
             .add_item(DataItem::new("b", Bytes::new(10_000), vec![DataSource::new(m(0), t(0))]))

@@ -1,17 +1,11 @@
 //! Property-based tests for the cost criteria (§4.8).
 
-use dstage_core::cost::{
-    cost_c1, step_cost, CostCriterion, DestinationCost, EuWeights,
-};
+use dstage_core::cost::{cost_c1, step_cost, CostCriterion, DestinationCost, EuWeights};
 use dstage_model::time::SimTime;
 use proptest::prelude::*;
 
 fn dest(arrival_s: u64, deadline_s: u64, weight: u64) -> DestinationCost {
-    DestinationCost::new(
-        SimTime::from_secs(arrival_s),
-        SimTime::from_secs(deadline_s),
-        weight,
-    )
+    DestinationCost::new(SimTime::from_secs(arrival_s), SimTime::from_secs(deadline_s), weight)
 }
 
 fn dest_strategy() -> impl Strategy<Value = DestinationCost> {

@@ -189,11 +189,8 @@ mod tests {
     #[test]
     fn release_times_default_to_zero() {
         let s = two_hop_chain();
-        let log = EventLog::new(
-            &s,
-            vec![Event::new(t(30), EventKind::Release(RequestId::new(1)))],
-        )
-        .unwrap();
+        let log = EventLog::new(&s, vec![Event::new(t(30), EventKind::Release(RequestId::new(1)))])
+            .unwrap();
         let releases = log.release_times(&s);
         assert_eq!(releases[0], SimTime::ZERO);
         assert_eq!(releases[1], t(30));
@@ -208,7 +205,10 @@ mod tests {
             Err(EventError::UnknownRequest(_))
         ));
         assert!(matches!(
-            EventLog::new(&s, vec![Event::new(t(1), EventKind::LinkOutage(VirtualLinkId::new(99)))]),
+            EventLog::new(
+                &s,
+                vec![Event::new(t(1), EventKind::LinkOutage(VirtualLinkId::new(99)))]
+            ),
             Err(EventError::UnknownLink(_))
         ));
         assert!(matches!(

@@ -372,10 +372,7 @@ mod tests {
             &scenario,
             vec![Event::new(
                 t(60),
-                EventKind::CopyLoss {
-                    item: DataItemId::new(0),
-                    machine: MachineId::new(2),
-                },
+                EventKind::CopyLoss { item: DataItemId::new(0), machine: MachineId::new(2) },
             )],
         )
         .unwrap();
@@ -408,10 +405,7 @@ mod tests {
             &scenario,
             vec![Event::new(
                 SimTime::from_mins(40),
-                EventKind::CopyLoss {
-                    item: DataItemId::new(0),
-                    machine: MachineId::new(2),
-                },
+                EventKind::CopyLoss { item: DataItemId::new(0), machine: MachineId::new(2) },
             )],
         )
         .unwrap();

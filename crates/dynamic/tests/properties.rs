@@ -54,8 +54,7 @@ fn events_for(
             }
             2 if scenario.item_count() > 0 => {
                 let item = DataItemId::new((a % scenario.item_count()) as u32);
-                let machine =
-                    MachineId::new((b % scenario.network().machine_count()) as u32);
+                let machine = MachineId::new((b % scenario.network().machine_count()) as u32);
                 events.push(Event::new(at, EventKind::CopyLoss { item, machine }));
             }
             _ => {}

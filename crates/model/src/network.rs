@@ -165,10 +165,8 @@ impl Network {
         // Pre-resolve neighbour lists as machine indices.
         let succ: Vec<Vec<usize>> = (0..n)
             .map(|u| {
-                let mut s: Vec<usize> = self.out_links[u]
-                    .iter()
-                    .map(|&l| self.link(l).destination().index())
-                    .collect();
+                let mut s: Vec<usize> =
+                    self.out_links[u].iter().map(|&l| self.link(l).destination().index()).collect();
                 s.sort_unstable();
                 s.dedup();
                 s

@@ -22,9 +22,7 @@ use crate::time::SimTime;
 /// assert!(Priority::HIGH > Priority::LOW);
 /// assert_eq!(Priority::new(1), Priority::MEDIUM);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Priority(u8);
 

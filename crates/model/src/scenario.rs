@@ -342,8 +342,16 @@ mod tests {
     #[test]
     fn duplicate_item_names_rejected() {
         let err = Scenario::builder(net(2))
-            .add_item(DataItem::new("x", Bytes::ZERO, vec![DataSource::new(MachineId::new(0), SimTime::ZERO)]))
-            .add_item(DataItem::new("x", Bytes::ZERO, vec![DataSource::new(MachineId::new(1), SimTime::ZERO)]))
+            .add_item(DataItem::new(
+                "x",
+                Bytes::ZERO,
+                vec![DataSource::new(MachineId::new(0), SimTime::ZERO)],
+            ))
+            .add_item(DataItem::new(
+                "x",
+                Bytes::ZERO,
+                vec![DataSource::new(MachineId::new(1), SimTime::ZERO)],
+            ))
             .build()
             .unwrap_err();
         assert!(matches!(err, ScenarioError::DuplicateItemName { .. }));

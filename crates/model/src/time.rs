@@ -361,21 +361,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_matches_millis() {
-        let mut v = vec![
-            SimTime::from_secs(3),
-            SimTime::ZERO,
-            SimTime::from_millis(1),
-            SimTime::MAX,
-        ];
+        let mut v =
+            vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1), SimTime::MAX];
         v.sort();
         assert_eq!(
             v,
-            vec![
-                SimTime::ZERO,
-                SimTime::from_millis(1),
-                SimTime::from_secs(3),
-                SimTime::MAX
-            ]
+            vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3), SimTime::MAX]
         );
     }
 }

@@ -15,7 +15,13 @@ fn sample_scenario() -> Scenario {
         BitsPerSec::from_kbps(256),
         SimDuration::from_millis(120),
     ));
-    b.add_link(VirtualLink::new(c, a, SimTime::ZERO, SimTime::from_hours(2), BitsPerSec::from_mbps(1)));
+    b.add_link(VirtualLink::new(
+        c,
+        a,
+        SimTime::ZERO,
+        SimTime::from_hours(2),
+        BitsPerSec::from_mbps(1),
+    ));
     Scenario::builder(b.build())
         .gc_delay(SimDuration::from_mins(7))
         .horizon(SimTime::from_hours(3))
@@ -47,10 +53,7 @@ fn scenario_roundtrips_through_json() {
     assert_eq!(back.item(DataItemId::new(0)), original.item(DataItemId::new(0)));
     assert_eq!(back.request(RequestId::new(0)), original.request(RequestId::new(0)));
     // Derived data survives (requests_for index is rebuilt/serialized).
-    assert_eq!(
-        back.requests_for(DataItemId::new(0)),
-        original.requests_for(DataItemId::new(0))
-    );
+    assert_eq!(back.requests_for(DataItemId::new(0)), original.requests_for(DataItemId::new(0)));
 }
 
 #[test]

@@ -96,8 +96,13 @@ pub fn earliest_arrival_tree(query: &ItemQuery<'_>) -> ArrivalTree {
             };
             if slot.arrival < arrivals[v.index()] {
                 arrivals[v.index()] = slot.arrival;
-                hops[v.index()] =
-                    Some(Hop { from: u, to: v, link: link_id, start: slot.start, arrival: slot.arrival });
+                hops[v.index()] = Some(Hop {
+                    from: u,
+                    to: v,
+                    link: link_id,
+                    start: slot.start,
+                    arrival: slot.arrival,
+                });
                 heap.push(Reverse((slot.arrival, v.index() as u32)));
             }
         }
@@ -346,10 +351,7 @@ mod tests {
                 sources: &[(m(0), t(0))],
                 hold_until: &hold,
             });
-            assert_eq!(
-                tree.hop_into(m(1)).unwrap().link,
-                dstage_model::ids::VirtualLinkId::new(0)
-            );
+            assert_eq!(tree.hop_into(m(1)).unwrap().link, dstage_model::ids::VirtualLinkId::new(0));
         }
     }
 

@@ -153,12 +153,11 @@ mod tests {
 
     /// Source 0 -> 1 -> 2, machine 3 unreachable.
     fn sample() -> ArrivalTree {
-        let h1 = Hop { from: m(0), to: m(1), link: VirtualLinkId::new(0), start: t(0), arrival: t(5) };
-        let h2 = Hop { from: m(1), to: m(2), link: VirtualLinkId::new(1), start: t(5), arrival: t(9) };
-        ArrivalTree::new(
-            vec![t(0), t(5), t(9), SimTime::MAX],
-            vec![None, Some(h1), Some(h2), None],
-        )
+        let h1 =
+            Hop { from: m(0), to: m(1), link: VirtualLinkId::new(0), start: t(0), arrival: t(5) };
+        let h2 =
+            Hop { from: m(1), to: m(2), link: VirtualLinkId::new(1), start: t(5), arrival: t(9) };
+        ArrivalTree::new(vec![t(0), t(5), t(9), SimTime::MAX], vec![None, Some(h1), Some(h2), None])
     }
 
     #[test]

@@ -84,13 +84,9 @@ fn fixpoint_arrivals(
                 continue;
             }
             let v = link.destination();
-            if let Some(slot) = ledger.earliest_transfer(
-                network,
-                link_id,
-                arrivals[u],
-                size,
-                hold[v.index()],
-            ) {
+            if let Some(slot) =
+                ledger.earliest_transfer(network, link_id, arrivals[u], size, hold[v.index()])
+            {
                 if slot.arrival < arrivals[v.index()] {
                     arrivals[v.index()] = slot.arrival;
                     changed = true;

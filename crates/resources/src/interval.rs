@@ -337,10 +337,7 @@ mod tests {
         let mut b = BusyIntervals::new();
         b.reserve(t(10), t(20)).unwrap();
         b.reserve(t(30), t(40)).unwrap();
-        assert_eq!(
-            b.free_gaps(t(0), t(50)),
-            vec![(t(0), t(10)), (t(20), t(30)), (t(40), t(50))]
-        );
+        assert_eq!(b.free_gaps(t(0), t(50)), vec![(t(0), t(10)), (t(20), t(30)), (t(40), t(50))]);
         // Window starting inside a busy span.
         assert_eq!(b.free_gaps(t(15), t(35)), vec![(t(20), t(30))]);
         // Fully busy window.

@@ -240,7 +240,13 @@ impl NetworkLedger {
     /// (the scheduler "does not remove a data item from any of its
     /// sources", §3), so an over-full source simply has no spare staging
     /// room rather than being an error.
-    pub fn force_storage(&mut self, machine: MachineId, size: Bytes, from: SimTime, until: SimTime) {
+    pub fn force_storage(
+        &mut self,
+        machine: MachineId,
+        size: Bytes,
+        from: SimTime,
+        until: SimTime,
+    ) {
         let store = &mut self.stores[machine.index()];
         if store.reserve(size, from, until).is_err() {
             store.force_reserve(size, from, until);
@@ -285,9 +291,7 @@ impl NetworkLedger {
     /// The total busy time across all links, a utilization diagnostic.
     #[must_use]
     pub fn total_link_busy(&self) -> SimDuration {
-        self.links
-            .iter()
-            .fold(SimDuration::ZERO, |acc, b| acc.saturating_add(b.total_busy()))
+        self.links.iter().fold(SimDuration::ZERO, |acc, b| acc.saturating_add(b.total_busy()))
     }
 }
 
@@ -341,13 +345,7 @@ mod tests {
         let mut b = NetworkBuilder::new();
         let a = b.add_machine(Machine::new("a", Bytes::from_mib(1)));
         let c = b.add_machine(Machine::new("c", Bytes::from_mib(1)));
-        let l = b.add_link(VirtualLink::new(
-            a,
-            c,
-            t(50),
-            t(100),
-            BitsPerSec::new(8_000),
-        ));
+        let l = b.add_link(VirtualLink::new(a, c, t(50), t(100), BitsPerSec::new(8_000)));
         let net = b.build();
         let ledger = NetworkLedger::new(&net);
         let slot =
@@ -399,9 +397,8 @@ mod tests {
     fn commit_rejects_window_violation() {
         let (net, l) = simple_net();
         let mut ledger = NetworkLedger::new(&net);
-        let err = ledger
-            .commit_transfer(&net, l, t(95), Bytes::new(10_000), SimTime::MAX)
-            .unwrap_err();
+        let err =
+            ledger.commit_transfer(&net, l, t(95), Bytes::new(10_000), SimTime::MAX).unwrap_err();
         assert_eq!(err, CommitError::OutsideWindow { link: l });
     }
 
@@ -409,8 +406,7 @@ mod tests {
     fn commit_rejects_late_arrival_against_hold_deadline() {
         let (net, l) = simple_net();
         let mut ledger = NetworkLedger::new(&net);
-        let err =
-            ledger.commit_transfer(&net, l, t(0), Bytes::new(10_000), t(9)).unwrap_err();
+        let err = ledger.commit_transfer(&net, l, t(0), Bytes::new(10_000), t(9)).unwrap_err();
         assert!(matches!(err, CommitError::ArrivesAfterHoldDeadline { .. }));
     }
 
@@ -421,8 +417,7 @@ mod tests {
         let dest = MachineId::new(1);
         // Fill the destination store until t=40.
         ledger.reserve_storage(dest, Bytes::from_mib(1), t(0), t(40)).unwrap();
-        let slot =
-            ledger.earliest_transfer(&net, l, t(0), Bytes::new(1_000), t(90)).unwrap();
+        let slot = ledger.earliest_transfer(&net, l, t(0), Bytes::new(1_000), t(90)).unwrap();
         assert_eq!(slot.start, t(40));
     }
 
@@ -433,9 +428,7 @@ mod tests {
         let dest = MachineId::new(1);
         // Destination full until after the link window closes.
         ledger.force_storage(dest, Bytes::from_mib(1), t(0), t(200));
-        assert!(ledger
-            .earliest_transfer(&net, l, t(0), Bytes::new(1_000), SimTime::MAX)
-            .is_none());
+        assert!(ledger.earliest_transfer(&net, l, t(0), Bytes::new(1_000), SimTime::MAX).is_none());
     }
 
     #[test]
@@ -443,9 +436,7 @@ mod tests {
         let (net, l) = simple_net();
         let ledger = NetworkLedger::new(&net);
         // 10 s transfer must complete by hold_until.
-        assert!(ledger
-            .earliest_transfer(&net, l, t(0), Bytes::new(10_000), t(9))
-            .is_none());
+        assert!(ledger.earliest_transfer(&net, l, t(0), Bytes::new(10_000), t(9)).is_none());
         let slot = ledger.earliest_transfer(&net, l, t(0), Bytes::new(10_000), t(10)).unwrap();
         assert_eq!(slot.arrival, t(10));
     }
@@ -456,10 +447,15 @@ mod tests {
         let mut ledger = NetworkLedger::new(&net);
         let dest = MachineId::new(1);
         let size = Bytes::new(10_000); // 10 s on the link
-        // Link busy [0, 15); storage blocked [15, 30).
+                                       // Link busy [0, 15); storage blocked [15, 30).
         ledger.commit_transfer(&net, l, t(0), Bytes::new(15_000), SimTime::MAX).unwrap();
         ledger
-            .reserve_storage(dest, Bytes::from_mib(1).saturating_sub(Bytes::new(15_000)), t(15), t(30))
+            .reserve_storage(
+                dest,
+                Bytes::from_mib(1).saturating_sub(Bytes::new(15_000)),
+                t(15),
+                t(30),
+            )
             .unwrap();
         let slot = ledger.earliest_transfer(&net, l, t(0), size, SimTime::MAX).unwrap();
         assert_eq!(slot.start, t(30));

@@ -1,0 +1,216 @@
+//! Concurrent load generator for the admission daemon.
+//!
+//! ```text
+//! stage-loadgen --addr HOST:PORT [OPTIONS]
+//!
+//! OPTIONS:
+//!   --clients N    concurrent client connections (default 8)
+//!   --requests M   total submissions across all clients (default 500)
+//!   --seed S       workload seed — use the daemon's --generate seed so
+//!                  item names match (default 0)
+//! ```
+//!
+//! Replays the request stream of the generated dstage-workload scenario
+//! (cycling with shifted deadlines once exhausted; repeats of an already
+//! admitted (item, destination) pair are legitimate rejections), then
+//! prints throughput and client-side latency percentiles.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dstage_workload::{generate, GeneratorConfig};
+use serde::Value;
+
+struct Options {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options { addr: String::new(), clients: 8, requests: 500, seed: 0 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => options.addr = args.next().ok_or("--addr needs host:port")?,
+            "--clients" => {
+                options.clients = args
+                    .next()
+                    .ok_or("--clients needs a count")?
+                    .parse()
+                    .map_err(|e| format!("invalid client count: {e}"))?;
+            }
+            "--requests" => {
+                options.requests = args
+                    .next()
+                    .ok_or("--requests needs a count")?
+                    .parse()
+                    .map_err(|e| format!("invalid request count: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if options.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    if options.clients == 0 || options.requests == 0 {
+        return Err("--clients and --requests must be positive".to_string());
+    }
+    Ok(options)
+}
+
+/// The generated scenario's requests as submit lines, cycled (with
+/// deadlines shifted one hour per lap) until `total` lines exist.
+fn submit_lines(seed: u64, total: usize) -> Vec<String> {
+    let scenario = generate(&GeneratorConfig::paper(), seed);
+    let base: Vec<(String, u64, u64, u8)> = scenario
+        .requests()
+        .map(|(_, r)| {
+            (
+                scenario.item(r.item()).name().to_string(),
+                r.destination().index() as u64,
+                r.deadline().as_millis(),
+                r.priority().level(),
+            )
+        })
+        .collect();
+    (0..total)
+        .map(|i| {
+            let (item, dest, deadline_ms, priority) = &base[i % base.len()];
+            let lap = (i / base.len()) as u64;
+            format!(
+                r#"{{"verb":"submit","item":"{item}","destination":{dest},"deadline_ms":{},"priority":{priority}}}"#,
+                deadline_ms + lap * 3_600_000
+            )
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct ClientStats {
+    admitted: u64,
+    rejected: u64,
+    errors: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Submits `lines` over one connection, timing each round trip.
+fn run_client(addr: &str, lines: &[String]) -> Result<ClientStats, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut stats =
+        ClientStats { latencies: Vec::with_capacity(lines.len()), ..Default::default() };
+    let mut response = String::new();
+    for line in lines {
+        let start = Instant::now();
+        writeln!(writer, "{line}")
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        response.clear();
+        let n = reader.read_line(&mut response).map_err(|e| format!("recv failed: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection mid-run".to_string());
+        }
+        stats.latencies.push(start.elapsed());
+        match serde_json::from_str::<Value>(response.trim())
+            .ok()
+            .and_then(|v| v.get("decision").and_then(|d| d.as_str().map(str::to_string)))
+            .as_deref()
+        {
+            Some("admitted") => stats.admitted += 1,
+            Some("rejected") => stats.rejected += 1,
+            _ => stats.errors += 1,
+        }
+    }
+    Ok(stats)
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: stage-loadgen --addr HOST:PORT [--clients N] [--requests M] [--seed S]"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    let lines = Arc::new(submit_lines(options.seed, options.requests));
+    // Contiguous per-client slices: client c gets lines [c*share, ...).
+    let share = options.requests.div_ceil(options.clients);
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..options.clients {
+        let lines = Arc::clone(&lines);
+        let addr = options.addr.clone();
+        handles.push(thread::spawn(move || {
+            let lo = (client * share).min(lines.len());
+            let hi = ((client + 1) * share).min(lines.len());
+            run_client(&addr, &lines[lo..hi])
+        }));
+    }
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(options.requests);
+    let mut failures = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(stats)) => {
+                admitted += stats.admitted;
+                rejected += stats.rejected;
+                errors += stats.errors;
+                latencies.extend(stats.latencies);
+            }
+            Ok(Err(e)) => failures.push(e),
+            Err(_) => failures.push("client thread panicked".to_string()),
+        }
+    }
+    let elapsed = started.elapsed();
+    for failure in &failures {
+        eprintln!("client error: {failure}");
+    }
+    latencies.sort_unstable();
+    let answered = latencies.len();
+    let throughput = answered as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
+    println!("clients: {}, requests: {} ({answered} answered)", options.clients, options.requests);
+    println!("admitted: {admitted}, rejected: {rejected}, protocol errors: {errors}");
+    println!("elapsed: {:.3} s, throughput: {throughput:.1} req/s", elapsed.as_secs_f64());
+    println!(
+        "latency: p50 {} µs, p90 {} µs, p99 {} µs, max {} µs",
+        percentile(&latencies, 0.50).as_micros(),
+        percentile(&latencies, 0.90).as_micros(),
+        percentile(&latencies, 0.99).as_micros(),
+        latencies.last().copied().unwrap_or(Duration::ZERO).as_micros()
+    );
+    if failures.is_empty() && answered == options.requests {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,205 @@
+//! The admission-control daemon.
+//!
+//! ```text
+//! stage-serve [OPTIONS]
+//!
+//! OPTIONS:
+//!   --scenario FILE  catalog (network + items) from a scenario JSON;
+//!                    requests in the file are ignored
+//!   --generate SEED  paper-scale generated catalog (default: seed 0)
+//!   --addr A         bind address (default 127.0.0.1:0 = ephemeral port)
+//!   --workers N      worker threads (default: max(8, cores))
+//!   --heuristic H    partial | full-one (default) | full-all
+//!   --criterion C    C1 | C2 | C3 | C4 (default) | C3f
+//!   --ratio X        log10 of the E-U ratio (default 2)
+//!   --weights W      1,5,10 | 1,10,100 (default)
+//! ```
+//!
+//! Prints `listening on <addr>` on stdout once ready, serves until a
+//! client issues `shutdown`, then drains and prints a summary to stderr.
+
+use std::process::ExitCode;
+
+use dstage_core::cost::{CostCriterion, EuWeights};
+use dstage_core::heuristic::{Heuristic, HeuristicConfig};
+use dstage_model::request::PriorityWeights;
+use dstage_model::scenario::Scenario;
+use dstage_service::engine::AdmissionEngine;
+use dstage_service::server::{Server, ServerConfig};
+use dstage_workload::{generate, GeneratorConfig};
+use serde::Value;
+
+struct Options {
+    scenario: Option<String>,
+    seed: u64,
+    addr: String,
+    workers: Option<usize>,
+    heuristic: Heuristic,
+    criterion: CostCriterion,
+    ratio: f64,
+    weights: PriorityWeights,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        scenario: None,
+        seed: 0,
+        addr: "127.0.0.1:0".to_string(),
+        workers: None,
+        heuristic: Heuristic::FullPathOneDestination,
+        criterion: CostCriterion::C4,
+        ratio: 2.0,
+        weights: PriorityWeights::paper_1_10_100(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                options.scenario = Some(args.next().ok_or("--scenario needs a file")?);
+            }
+            "--generate" => {
+                options.seed = args
+                    .next()
+                    .ok_or("--generate needs a seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--addr" => options.addr = args.next().ok_or("--addr needs host:port")?,
+            "--workers" => {
+                options.workers = Some(
+                    args.next()
+                        .ok_or("--workers needs a count")?
+                        .parse()
+                        .map_err(|e| format!("invalid worker count: {e}"))?,
+                );
+            }
+            "--heuristic" => {
+                options.heuristic = match args.next().as_deref() {
+                    Some("partial") => Heuristic::PartialPath,
+                    Some("full-one") | Some("full_one") => Heuristic::FullPathOneDestination,
+                    Some("full-all") | Some("full_all") => Heuristic::FullPathAllDestinations,
+                    other => return Err(format!("unknown heuristic {other:?}")),
+                };
+            }
+            "--criterion" => {
+                options.criterion = match args.next().as_deref() {
+                    Some("C1") | Some("c1") => CostCriterion::C1,
+                    Some("C2") | Some("c2") => CostCriterion::C2,
+                    Some("C3") | Some("c3") => CostCriterion::C3,
+                    Some("C4") | Some("c4") => CostCriterion::C4,
+                    Some("C3f") | Some("c3f") => CostCriterion::C3Floor,
+                    other => return Err(format!("unknown criterion {other:?}")),
+                };
+            }
+            "--ratio" => {
+                options.ratio = args
+                    .next()
+                    .ok_or("--ratio needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid ratio: {e}"))?;
+            }
+            "--weights" => {
+                options.weights = match args.next().as_deref() {
+                    Some("1,5,10") => PriorityWeights::paper_1_5_10(),
+                    Some("1,10,100") => PriorityWeights::paper_1_10_100(),
+                    other => return Err(format!("unknown weighting {other:?}")),
+                };
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Accepts either a bare `Scenario` JSON or the `scenarios` exporter's
+/// wrapper object with a `scenario` field.
+fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(s) = serde_json::from_str::<Scenario>(&text) {
+        return Ok(s);
+    }
+    #[derive(serde::Deserialize)]
+    struct Wrapper {
+        scenario: Scenario,
+    }
+    serde_json::from_str::<Wrapper>(&text)
+        .map(|w| w.scenario)
+        .map_err(|e| format!("{path} is not a scenario JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: stage-serve [--scenario FILE | --generate SEED] [--addr HOST:PORT] \
+                 [--workers N] [--heuristic partial|full-one|full-all] \
+                 [--criterion C1|C2|C3|C4|C3f] [--ratio X] [--weights 1,5,10|1,10,100]"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    let catalog = match &options.scenario {
+        Some(path) => match load_scenario(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => generate(&GeneratorConfig::paper(), options.seed),
+    };
+    let config = HeuristicConfig {
+        criterion: options.criterion,
+        eu: EuWeights::from_log10_ratio(options.ratio),
+        priority_weights: options.weights.clone(),
+        caching: true,
+    };
+    let engine = AdmissionEngine::new(&catalog, options.heuristic, config);
+    eprintln!(
+        "catalog: {} machines, {} items ({})",
+        engine.machine_count(),
+        engine.item_names().count(),
+        engine.item_names().take(5).collect::<Vec<_>>().join(", ")
+    );
+    let server_config =
+        options.workers.map_or_else(ServerConfig::default, |workers| ServerConfig { workers });
+    let server = match Server::bind(engine, &options.addr, server_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // The contract clients (and the loopback test) rely on: the
+            // first stdout line announces the resolved address.
+            println!("listening on {addr}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(snapshot) => {
+            let (submissions, admitted) = (
+                snapshot.get("submissions").and_then(Value::as_u64).unwrap_or(0),
+                snapshot.get("admitted").and_then(Value::as_u64).unwrap_or(0),
+            );
+            eprintln!("drained: {submissions} submissions, {admitted} admitted");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! One-shot client for the admission daemon.
+//!
+//! ```text
+//! stage-submit --addr HOST:PORT <verb> [ARGS]
+//!
+//! VERBS:
+//!   submit --item NAME --dest M --deadline-ms T [--priority P]
+//!   query --request N
+//!   snapshot
+//!   metrics
+//!   shutdown
+//! ```
+//!
+//! Sends one request line, prints the one response line, and exits 0 if
+//! the daemon answered `ok: true` (admission *rejections* are ok — they
+//! are decisions, not failures), 1 otherwise.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use serde::Value;
+
+struct Options {
+    addr: String,
+    line: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut addr = None;
+    let mut verb: Option<String> = None;
+    let mut item = None;
+    let mut dest: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut priority: u64 = 0;
+    let mut request: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().ok_or("--addr needs host:port")?),
+            "--item" => item = Some(args.next().ok_or("--item needs a name")?),
+            "--dest" => dest = Some(parse_number(args.next(), "--dest")?),
+            "--deadline-ms" => deadline_ms = Some(parse_number(args.next(), "--deadline-ms")?),
+            "--priority" => priority = parse_number(args.next(), "--priority")?,
+            "--request" => request = Some(parse_number(args.next(), "--request")?),
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other if verb.is_none() => verb = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    let line = match verb.as_deref() {
+        Some("submit") => {
+            let item = item.ok_or("submit needs --item")?;
+            let dest = dest.ok_or("submit needs --dest")?;
+            let deadline_ms = deadline_ms.ok_or("submit needs --deadline-ms")?;
+            format!(
+                r#"{{"verb":"submit","item":{},"destination":{dest},"deadline_ms":{deadline_ms},"priority":{priority}}}"#,
+                json_string(&item)
+            )
+        }
+        Some("query") => {
+            let request = request.ok_or("query needs --request")?;
+            format!(r#"{{"verb":"query","request":{request}}}"#)
+        }
+        Some("snapshot") => r#"{"verb":"snapshot"}"#.to_string(),
+        Some("metrics") => r#"{"verb":"metrics"}"#.to_string(),
+        Some("shutdown") => r#"{"verb":"shutdown"}"#.to_string(),
+        Some(other) => return Err(format!("unknown verb {other:?}")),
+        None => return Err("a verb is required".to_string()),
+    };
+    Ok(Options { addr, line })
+}
+
+fn parse_number(arg: Option<String>, flag: &str) -> Result<u64, String> {
+    arg.ok_or(format!("{flag} needs a number"))?.parse().map_err(|e| format!("invalid {flag}: {e}"))
+}
+
+/// Minimal JSON string escaping for the item name.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: stage-submit --addr HOST:PORT \
+                 (submit --item NAME --dest M --deadline-ms T [--priority P] \
+                 | query --request N | snapshot | metrics | shutdown)"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    let stream = match TcpStream::connect(&options.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = stream;
+    if let Err(e) = writeln!(writer, "{}", options.line).and_then(|()| writer.flush()) {
+        eprintln!("error: cannot send request: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) => {
+            eprintln!("error: daemon closed the connection without answering");
+            ExitCode::FAILURE
+        }
+        Ok(_) => {
+            // Write, not print!: a reader that closes early (snapshot
+            // piped into `head`) must not panic the client.
+            let _ = std::io::stdout().write_all(response.as_bytes());
+            let ok = serde_json::from_str::<Value>(response.trim())
+                .ok()
+                .and_then(|v| v.get("ok").and_then(Value::as_bool))
+                .unwrap_or(false);
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot read response: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! Incremental admission control on top of the offline heuristics.
+//!
+//! The [`AdmissionEngine`] owns the live catalog (network + data items),
+//! the set of admitted requests, and the committed link reservations.
+//! Each `submit` rebuilds a one-candidate [`Scenario`], replays the
+//! committed reservations into a fresh [`SchedulerState`] (the same
+//! replay machinery the dstage-dynamic rolling horizon uses), and lets
+//! the configured heuristic try to route the candidate. If the candidate
+//! can be delivered by its deadline it is admitted and its path becomes
+//! part of the ledger; otherwise it is rejected and leaves no residue.
+//!
+//! Every method is a deterministic function of the submission history,
+//! which is what makes concurrent serving testable: serializing the same
+//! submissions in the same order through a fresh engine must produce a
+//! byte-identical snapshot.
+
+use std::collections::HashMap;
+
+use dstage_core::heuristic::{drive_state, Heuristic, HeuristicConfig};
+use dstage_core::schedule::{Delivery, Schedule, Transfer};
+use dstage_core::state::SchedulerState;
+use dstage_model::data::DataItem;
+use dstage_model::ids::{MachineId, RequestId};
+use dstage_model::network::Network;
+use dstage_model::request::{Priority, Request};
+use dstage_model::scenario::Scenario;
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_path::Hop;
+use serde::Value;
+
+use crate::protocol::{QueryResponse, RouteHop, SubmitArgs, SubmitResponse};
+
+/// The admission decision recorded for one submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// The request was admitted and its path reserved.
+    Admitted {
+        /// Id assigned to the admitted request.
+        request: RequestId,
+        /// When the item reaches the destination.
+        eta: SimTime,
+        /// Hops on the delivery path.
+        hops: u32,
+        /// Link reservations added to the ledger by this admission.
+        new_transfers: usize,
+    },
+    /// The request was refused; the ledger is unchanged.
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+}
+
+/// One processed submission: the arguments and the decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionRecord {
+    /// What the client asked for.
+    pub args: SubmitArgs,
+    /// What the engine decided.
+    pub decision: Decision,
+}
+
+/// Bookkeeping for one admitted request.
+#[derive(Debug, Clone)]
+struct AdmittedInfo {
+    delivery: Delivery,
+    route: Vec<Transfer>,
+}
+
+/// Thread-safe-by-construction admission-control state (owned data only,
+/// no interior mutability — wrap it in a lock to share).
+#[derive(Debug, Clone)]
+pub struct AdmissionEngine {
+    network: Network,
+    items: Vec<DataItem>,
+    item_ids: HashMap<String, u32>,
+    gc_delay: SimDuration,
+    horizon: SimTime,
+    heuristic: Heuristic,
+    config: HeuristicConfig,
+    admitted: Vec<Request>,
+    info: Vec<AdmittedInfo>,
+    committed: Vec<Transfer>,
+    log: Vec<SubmissionRecord>,
+}
+
+impl AdmissionEngine {
+    /// Creates an engine serving `catalog`'s network and data items.
+    ///
+    /// Requests present in the catalog scenario are ignored: admission
+    /// state starts empty and grows one `submit` at a time.
+    #[must_use]
+    pub fn new(catalog: &Scenario, heuristic: Heuristic, config: HeuristicConfig) -> Self {
+        let items: Vec<DataItem> = catalog.items().map(|(_, item)| item.clone()).collect();
+        let item_ids =
+            items.iter().enumerate().map(|(i, item)| (item.name().to_string(), i as u32)).collect();
+        AdmissionEngine {
+            network: catalog.network().clone(),
+            items,
+            item_ids,
+            gc_delay: catalog.gc_delay(),
+            horizon: catalog.horizon(),
+            heuristic,
+            config,
+            admitted: Vec::new(),
+            info: Vec::new(),
+            committed: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Names of the data items in the catalog, in id order.
+    pub fn item_names(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().map(DataItem::name)
+    }
+
+    /// Number of machines in the served network.
+    #[must_use]
+    pub fn machine_count(&self) -> usize {
+        self.network.machine_count()
+    }
+
+    /// Number of processed submissions (admitted + rejected).
+    #[must_use]
+    pub fn submission_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Number of admitted requests.
+    #[must_use]
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// The processed submissions, in decision order.
+    #[must_use]
+    pub fn log(&self) -> &[SubmissionRecord] {
+        &self.log
+    }
+
+    /// Decides admission for one request and, on success, reserves its
+    /// path in the ledger. Never fails: malformed asks become recorded
+    /// rejections so the log stays a complete history.
+    pub fn submit(&mut self, args: &SubmitArgs) -> SubmitResponse {
+        let submission = self.log.len() as u64;
+        let decision = self.decide(args);
+        let response = match &decision {
+            Decision::Admitted { request, eta, hops, new_transfers } => SubmitResponse {
+                ok: true,
+                submission,
+                decision: "admitted".to_string(),
+                request: Some(request.index() as u64),
+                eta_ms: Some(eta.as_millis()),
+                hops: Some(u64::from(*hops)),
+                new_transfers: Some(*new_transfers as u64),
+                reason: None,
+            },
+            Decision::Rejected { reason } => SubmitResponse {
+                ok: true,
+                submission,
+                decision: "rejected".to_string(),
+                request: None,
+                eta_ms: None,
+                hops: None,
+                new_transfers: None,
+                reason: Some(reason.clone()),
+            },
+        };
+        self.log.push(SubmissionRecord { args: args.clone(), decision });
+        response
+    }
+
+    fn decide(&mut self, args: &SubmitArgs) -> Decision {
+        let reject = |reason: String| Decision::Rejected { reason };
+        let Some(&item) = self.item_ids.get(args.item.as_str()) else {
+            return reject(format!("unknown data item `{}`", args.item));
+        };
+        if args.priority >= self.config.priority_weights.levels() {
+            return reject(format!(
+                "priority {} out of range (weighting has {} levels)",
+                args.priority,
+                self.config.priority_weights.levels()
+            ));
+        }
+        let candidate = Request::new(
+            dstage_model::ids::DataItemId::new(item),
+            MachineId::new(args.destination),
+            SimTime::from_millis(args.deadline_ms),
+            Priority::new(args.priority),
+        );
+        let scenario = match self.build_scenario(candidate) {
+            Ok(s) => s,
+            Err(reason) => return reject(reason),
+        };
+        let candidate_id = RequestId::new(self.admitted.len() as u32);
+
+        let mut state = SchedulerState::with_caching(&scenario, self.config.caching);
+        for r in scenario.request_ids() {
+            if r != candidate_id {
+                state.set_request_active(r, false);
+            }
+        }
+        for t in &self.committed {
+            let hop =
+                Hop { from: t.from, to: t.to, link: t.link, start: t.start, arrival: t.arrival };
+            if !state.try_commit_stale_hop(t.item, hop) {
+                return reject("internal: committed reservation failed to replay".to_string());
+            }
+        }
+        drive_state(&mut state, self.heuristic, &self.config);
+        let (plan, _metrics) = state.into_outcome();
+
+        match plan.delivery_of(candidate_id) {
+            Some(delivery) if delivery.at <= candidate.deadline() => {
+                let transfers = plan.transfers();
+                debug_assert!(
+                    transfers.starts_with(&self.committed),
+                    "replayed reservations must be a prefix of the new plan"
+                );
+                let route: Vec<Transfer> = transfers[self.committed.len()..].to_vec();
+                let new_transfers = route.len();
+                self.committed = transfers.to_vec();
+                self.info.push(AdmittedInfo { delivery, route });
+                self.admitted.push(candidate);
+                Decision::Admitted {
+                    request: candidate_id,
+                    eta: delivery.at,
+                    hops: delivery.hops,
+                    new_transfers,
+                }
+            }
+            _ => reject(format!(
+                "deadline {} ms unreachable for `{}` to M{} under the current ledger",
+                args.deadline_ms, args.item, args.destination
+            )),
+        }
+    }
+
+    fn build_scenario(&self, candidate: Request) -> Result<Scenario, String> {
+        let latest = self
+            .admitted
+            .iter()
+            .map(Request::deadline)
+            .chain([candidate.deadline()])
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let horizon = self.horizon.max(latest + self.gc_delay);
+        let mut builder =
+            Scenario::builder(self.network.clone()).gc_delay(self.gc_delay).horizon(horizon);
+        for item in &self.items {
+            builder = builder.add_item(item.clone());
+        }
+        builder
+            .add_requests(self.admitted.iter().copied())
+            .add_request(candidate)
+            .build()
+            .map_err(|e| e.to_string())
+    }
+
+    /// Status, route, and ETA of an admitted request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `request` names no admitted request.
+    pub fn query(&self, request: u32) -> Result<QueryResponse, String> {
+        let index = request as usize;
+        let (req, info) = match (self.admitted.get(index), self.info.get(index)) {
+            (Some(r), Some(i)) => (r, i),
+            _ => return Err(format!("unknown request id {request}")),
+        };
+        Ok(QueryResponse {
+            ok: true,
+            request: u64::from(request),
+            status: "admitted".to_string(),
+            item: self.items[req.item().index()].name().to_string(),
+            destination: req.destination().index() as u64,
+            deadline_ms: req.deadline().as_millis(),
+            priority: u64::from(req.priority().level()),
+            eta_ms: info.delivery.at.as_millis(),
+            hops: u64::from(info.delivery.hops),
+            route: info
+                .route
+                .iter()
+                .map(|t| RouteHop {
+                    from: t.from.index() as u64,
+                    to: t.to.index() as u64,
+                    link: t.link.index() as u64,
+                    start_ms: t.start.as_millis(),
+                    arrival_ms: t.arrival.as_millis(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Admission counters: per-priority admitted/rejected tallies and the
+    /// weighted sum of satisfied requests (paper's objective).
+    #[must_use]
+    pub fn counters(&self) -> AdmissionCounters {
+        let levels = self.config.priority_weights.levels() as usize;
+        let mut admitted_by_priority = vec![0u64; levels];
+        let mut rejected_by_priority = vec![0u64; levels];
+        let mut weighted_sum = 0u64;
+        for record in &self.log {
+            let level = (record.args.priority as usize).min(levels.saturating_sub(1));
+            match &record.decision {
+                Decision::Admitted { .. } => {
+                    admitted_by_priority[level] += 1;
+                    weighted_sum += self.config.priority_weights.weight(Priority::new(level as u8));
+                }
+                Decision::Rejected { .. } => rejected_by_priority[level] += 1,
+            }
+        }
+        AdmissionCounters {
+            submissions: self.log.len() as u64,
+            admitted: self.admitted.len() as u64,
+            rejected: (self.log.len() - self.admitted.len()) as u64,
+            admitted_by_priority,
+            rejected_by_priority,
+            weighted_sum,
+        }
+    }
+
+    /// The full service state as one deterministic JSON value: decision
+    /// log, committed schedule, and per-link ledger. Equal submission
+    /// histories produce byte-identical serializations.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let deliveries: Vec<Delivery> = self.info.iter().map(|i| i.delivery).collect();
+        let schedule = Schedule::from_parts(self.committed.clone(), deliveries);
+        let schedule_value = serde::to_value(&schedule).unwrap_or(Value::Null);
+
+        let mut busy: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+        for t in &self.committed {
+            let link = t.link.index() as u64;
+            let window = (t.start.as_millis(), t.arrival.as_millis());
+            match busy.iter_mut().find(|(l, _)| *l == link) {
+                Some((_, windows)) => windows.push(window),
+                None => busy.push((link, vec![window])),
+            }
+        }
+        busy.sort_by_key(|(link, _)| *link);
+        for (_, windows) in &mut busy {
+            windows.sort_unstable();
+        }
+        let ledger = Value::Array(
+            busy.into_iter()
+                .map(|(link, windows)| {
+                    Value::Object(vec![
+                        ("link".to_string(), Value::UInt(link)),
+                        (
+                            "busy_ms".to_string(),
+                            Value::Array(
+                                windows
+                                    .into_iter()
+                                    .map(|(s, a)| {
+                                        Value::Array(vec![Value::UInt(s), Value::UInt(a)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+
+        let log = Value::Array(self.log.iter().map(record_value).collect());
+        let counters = self.counters();
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            ("submissions".to_string(), Value::UInt(counters.submissions)),
+            ("admitted".to_string(), Value::UInt(counters.admitted)),
+            ("rejected".to_string(), Value::UInt(counters.rejected)),
+            ("weighted_sum".to_string(), Value::UInt(counters.weighted_sum)),
+            ("log".to_string(), log),
+            ("schedule".to_string(), schedule_value),
+            ("ledger".to_string(), ledger),
+        ])
+    }
+}
+
+fn record_value(record: &SubmissionRecord) -> Value {
+    let mut fields = vec![
+        ("item".to_string(), Value::String(record.args.item.clone())),
+        ("destination".to_string(), Value::UInt(u64::from(record.args.destination))),
+        ("deadline_ms".to_string(), Value::UInt(record.args.deadline_ms)),
+        ("priority".to_string(), Value::UInt(u64::from(record.args.priority))),
+    ];
+    match &record.decision {
+        Decision::Admitted { request, eta, hops, new_transfers } => {
+            fields.push(("decision".to_string(), Value::String("admitted".to_string())));
+            fields.push(("request".to_string(), Value::UInt(request.index() as u64)));
+            fields.push(("eta_ms".to_string(), Value::UInt(eta.as_millis())));
+            fields.push(("hops".to_string(), Value::UInt(u64::from(*hops))));
+            fields.push(("new_transfers".to_string(), Value::UInt(*new_transfers as u64)));
+        }
+        Decision::Rejected { reason } => {
+            fields.push(("decision".to_string(), Value::String("rejected".to_string())));
+            fields.push(("reason".to_string(), Value::String(reason.clone())));
+        }
+    }
+    Value::Object(fields)
+}
+
+/// Admission counters reported by the `metrics` verb.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct AdmissionCounters {
+    /// Processed submissions (admitted + rejected).
+    pub submissions: u64,
+    /// Admitted requests.
+    pub admitted: u64,
+    /// Rejected submissions.
+    pub rejected: u64,
+    /// Admitted count per priority level (index = level).
+    pub admitted_by_priority: Vec<u64>,
+    /// Rejected count per priority level (index = level).
+    pub rejected_by_priority: Vec<u64>,
+    /// Σ weight(priority) over admitted requests — the paper's objective
+    /// restricted to the admitted set (every admitted request is
+    /// satisfied by construction).
+    pub weighted_sum: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstage_core::cost::{CostCriterion, EuWeights};
+    use dstage_model::request::PriorityWeights;
+    use dstage_workload::small::two_hop_chain;
+
+    fn engine() -> AdmissionEngine {
+        AdmissionEngine::new(
+            &two_hop_chain(),
+            Heuristic::FullPathOneDestination,
+            HeuristicConfig {
+                criterion: CostCriterion::C4,
+                eu: EuWeights::from_log10_ratio(2.0),
+                priority_weights: PriorityWeights::paper_1_10_100(),
+                caching: true,
+            },
+        )
+    }
+
+    fn submit(
+        engine: &mut AdmissionEngine,
+        item: &str,
+        dest: u32,
+        deadline_ms: u64,
+    ) -> SubmitResponse {
+        engine.submit(&SubmitArgs {
+            item: item.to_string(),
+            destination: dest,
+            deadline_ms,
+            priority: 2,
+        })
+    }
+
+    #[test]
+    fn admits_feasible_and_rejects_unknown() {
+        let mut e = engine();
+        let item = e.item_names().next().unwrap().to_string();
+        let dest = (e.machine_count() - 1) as u32;
+        let first = submit(&mut e, &item, dest, 7_200_000);
+        assert_eq!(first.decision, "admitted");
+        assert_eq!(first.request, Some(0));
+        assert!(first.eta_ms.unwrap() <= 7_200_000);
+
+        let unknown = submit(&mut e, "no-such-item", dest, 7_200_000);
+        assert_eq!(unknown.decision, "rejected");
+        assert!(unknown.reason.unwrap().contains("unknown data item"));
+        assert_eq!(e.admitted_count(), 1);
+        assert_eq!(e.submission_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_pair_and_impossible_deadline_reject_without_residue() {
+        let mut e = engine();
+        let item = e.item_names().next().unwrap().to_string();
+        let dest = (e.machine_count() - 1) as u32;
+        assert_eq!(submit(&mut e, &item, dest, 7_200_000).decision, "admitted");
+        let ledger_before = serde_json::to_string(&e.snapshot()).unwrap();
+        let dup = submit(&mut e, &item, dest, 7_200_000);
+        assert_eq!(dup.decision, "rejected");
+        let hopeless = submit(&mut e, &item, 0, 1);
+        assert_eq!(hopeless.decision, "rejected");
+        // Rejections append to the log but leave schedule + ledger alone.
+        let after = e.snapshot();
+        let schedule_before: Value = serde_json::from_str(&ledger_before).unwrap();
+        assert_eq!(schedule_before.get("schedule"), after.get("schedule"));
+        assert_eq!(schedule_before.get("ledger"), after.get("ledger"));
+    }
+
+    #[test]
+    fn query_reports_route_and_counters_add_up() {
+        let mut e = engine();
+        let item = e.item_names().next().unwrap().to_string();
+        let dest = (e.machine_count() - 1) as u32;
+        let r = submit(&mut e, &item, dest, 7_200_000);
+        let q = e.query(r.request.unwrap() as u32).unwrap();
+        assert_eq!(q.item, item);
+        assert_eq!(q.eta_ms, r.eta_ms.unwrap());
+        assert_eq!(q.route.len() as u64, r.new_transfers.unwrap());
+        assert!(e.query(99).is_err());
+
+        submit(&mut e, "no-such-item", dest, 1);
+        let c = e.counters();
+        assert_eq!(c.submissions, 2);
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.admitted_by_priority.iter().sum::<u64>(), 1);
+        assert_eq!(c.weighted_sum, 100);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_for_equal_histories() {
+        let run = || {
+            let mut e = engine();
+            let item = e.item_names().next().unwrap().to_string();
+            let dest = (e.machine_count() - 1) as u32;
+            submit(&mut e, &item, dest, 7_200_000);
+            submit(&mut e, "ghost", dest, 5);
+            serde_json::to_string(&e.snapshot()).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

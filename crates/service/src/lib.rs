@@ -1,0 +1,58 @@
+//! Concurrent admission-control scheduling daemon for the data-staging
+//! heuristics (ICDCS 2000 reproduction).
+//!
+//! Turns the offline schedulers of `dstage-core` into a long-running
+//! service: a TCP daemon speaking newline-delimited JSON that admits or
+//! rejects data requests one at a time, reserving network capacity for
+//! admitted paths in a live ledger. The moving parts:
+//!
+//! * [`engine::AdmissionEngine`] — deterministic admission state
+//!   (catalog, admitted requests, committed reservations);
+//! * [`protocol`] — the five-verb NDJSON wire protocol
+//!   (`submit`, `query`, `snapshot`, `metrics`, `shutdown`);
+//! * [`server::Server`] — accept loop + crossbeam worker pool sharing
+//!   the engine behind a `parking_lot::RwLock`.
+//!
+//! Binaries: `stage-serve` (the daemon), `stage-submit` (one-shot
+//! client), `stage-loadgen` (concurrent replay of a generated workload
+//! with throughput and latency percentiles).
+//!
+//! # Examples
+//!
+//! Drive the engine directly, without sockets:
+//!
+//! ```
+//! use dstage_core::heuristic::{Heuristic, HeuristicConfig};
+//! use dstage_service::engine::AdmissionEngine;
+//! use dstage_service::protocol::SubmitArgs;
+//! use dstage_workload::small::two_hop_chain;
+//!
+//! let mut engine = AdmissionEngine::new(
+//!     &two_hop_chain(),
+//!     Heuristic::FullPathOneDestination,
+//!     HeuristicConfig::paper_best(),
+//! );
+//! let decision = engine.submit(&SubmitArgs {
+//!     item: "alpha".to_string(),
+//!     destination: 2,
+//!     deadline_ms: 7_200_000,
+//!     priority: 2,
+//! });
+//! assert_eq!(decision.decision, "admitted");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+/// Convenience re-exports of the service vocabulary.
+pub mod prelude {
+    pub use crate::engine::{AdmissionCounters, AdmissionEngine, Decision, SubmissionRecord};
+    pub use crate::protocol::{
+        ClientRequest, ErrorResponse, QueryResponse, SubmitArgs, SubmitResponse,
+    };
+    pub use crate::server::{LatencyHistogram, Server, ServerConfig};
+}

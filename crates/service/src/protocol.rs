@@ -1,0 +1,235 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object per line carrying a `verb` field;
+//! every response is one JSON object per line carrying `ok`. The five
+//! verbs are `submit`, `query`, `snapshot`, `metrics`, and `shutdown`.
+
+use serde::{Serialize, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRequest {
+    /// Ask for admission of a new data request.
+    Submit(SubmitArgs),
+    /// Ask for the status/route/ETA of an admitted request.
+    Query {
+        /// The request id returned by an earlier `submit`.
+        request: u32,
+    },
+    /// Ask for the full schedule and per-link ledger.
+    Snapshot,
+    /// Ask for admission counters and the service-latency histogram.
+    Metrics,
+    /// Ask the daemon to stop accepting connections and drain.
+    Shutdown,
+}
+
+/// Arguments of a `submit` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Name of the data item in the catalog.
+    pub item: String,
+    /// Destination machine id.
+    pub destination: u32,
+    /// Absolute deadline in simulation milliseconds.
+    pub deadline_ms: u64,
+    /// Priority level (0 = low).
+    pub priority: u8,
+}
+
+impl ClientRequest {
+    /// Parses one NDJSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a missing or
+    /// unknown `verb`, or missing/ill-typed arguments.
+    pub fn parse(line: &str) -> Result<ClientRequest, String> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let verb = value
+            .get("verb")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing string field `verb`".to_string())?;
+        match verb {
+            "submit" => Ok(ClientRequest::Submit(SubmitArgs {
+                item: require_str(&value, "item")?.to_string(),
+                destination: u32::try_from(require_u64(&value, "destination")?)
+                    .map_err(|_| "field `destination` out of range".to_string())?,
+                deadline_ms: require_u64(&value, "deadline_ms")?,
+                priority: u8::try_from(require_u64(&value, "priority")?)
+                    .map_err(|_| "field `priority` out of range".to_string())?,
+            })),
+            "query" => Ok(ClientRequest::Query {
+                request: u32::try_from(require_u64(&value, "request")?)
+                    .map_err(|_| "field `request` out of range".to_string())?,
+            }),
+            "snapshot" => Ok(ClientRequest::Snapshot),
+            "metrics" => Ok(ClientRequest::Metrics),
+            "shutdown" => Ok(ClientRequest::Shutdown),
+            other => Err(format!("unknown verb `{other}`")),
+        }
+    }
+}
+
+fn require_str<'a>(value: &'a Value, field: &str) -> Result<&'a str, String> {
+    value
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field `{field}`"))
+}
+
+fn require_u64(value: &Value, field: &str) -> Result<u64, String> {
+    value
+        .get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing unsigned integer field `{field}`"))
+}
+
+/// Serializes a response value as one NDJSON line (no trailing newline).
+///
+/// Falls back to a generic error object if serialization itself fails —
+/// the connection must always receive exactly one line per request.
+pub fn response_line<T: Serialize>(response: &T) -> String {
+    serde_json::to_string(response)
+        .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"serialize: {e}\"}}"))
+}
+
+/// Response to a `submit` request.
+#[derive(Debug, Clone, Serialize)]
+pub struct SubmitResponse {
+    /// Whether the request was understood (admission *rejections* still
+    /// carry `ok: true` — they are successful decisions).
+    pub ok: bool,
+    /// Index of this submission in the daemon's processing order.
+    pub submission: u64,
+    /// `"admitted"` or `"rejected"`.
+    pub decision: String,
+    /// Id of the admitted request (for `query`); absent on rejection.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub request: Option<u64>,
+    /// Delivery ETA in simulation milliseconds; absent on rejection.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub eta_ms: Option<u64>,
+    /// Hop count of the delivery path; absent on rejection.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub hops: Option<u64>,
+    /// Link reservations added to the ledger; absent on rejection.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub new_transfers: Option<u64>,
+    /// Why admission was refused; absent on admission.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub reason: Option<String>,
+}
+
+/// One hop of an admitted request's route, as reported by `query`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RouteHop {
+    /// Sending machine id.
+    pub from: u64,
+    /// Receiving machine id.
+    pub to: u64,
+    /// Virtual link id.
+    pub link: u64,
+    /// Reservation start (simulation ms).
+    pub start_ms: u64,
+    /// Arrival at `to` (simulation ms).
+    pub arrival_ms: u64,
+}
+
+/// Response to a `query` request.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryResponse {
+    /// Always `true` (unknown ids get an [`ErrorResponse`]).
+    pub ok: bool,
+    /// The queried request id.
+    pub request: u64,
+    /// Status — currently always `"admitted"`; rejected submissions have
+    /// no request id to query.
+    pub status: String,
+    /// Name of the requested data item.
+    pub item: String,
+    /// Destination machine id.
+    pub destination: u64,
+    /// Absolute deadline (simulation ms).
+    pub deadline_ms: u64,
+    /// Priority level.
+    pub priority: u64,
+    /// Delivery ETA (simulation ms).
+    pub eta_ms: u64,
+    /// Hop count of the delivery path.
+    pub hops: u64,
+    /// The link reservations staged for this request, in commit order.
+    pub route: Vec<RouteHop>,
+}
+
+/// An error response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorResponse {
+    /// Always `false`.
+    pub ok: bool,
+    /// What went wrong.
+    pub error: String,
+}
+
+impl ErrorResponse {
+    /// Builds the single error line for `message`.
+    #[must_use]
+    pub fn line(message: impl Into<String>) -> String {
+        response_line(&ErrorResponse { ok: false, error: message.into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        let submit = ClientRequest::parse(
+            r#"{"verb":"submit","item":"map","destination":3,"deadline_ms":60000,"priority":2}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            submit,
+            ClientRequest::Submit(SubmitArgs {
+                item: "map".to_string(),
+                destination: 3,
+                deadline_ms: 60_000,
+                priority: 2,
+            })
+        );
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"query","request":7}"#).unwrap(),
+            ClientRequest::Query { request: 7 }
+        );
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"snapshot"}"#).unwrap(),
+            ClientRequest::Snapshot
+        );
+        assert_eq!(ClientRequest::parse(r#"{"verb":"metrics"}"#).unwrap(), ClientRequest::Metrics);
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"shutdown"}"#).unwrap(),
+            ClientRequest::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(ClientRequest::parse("not json").is_err());
+        assert!(ClientRequest::parse(r#"{"item":"map"}"#).is_err());
+        assert!(ClientRequest::parse(r#"{"verb":"submit","item":"map"}"#).is_err());
+        assert!(ClientRequest::parse(r#"{"verb":"destroy"}"#).is_err());
+        assert!(ClientRequest::parse(
+            r#"{"verb":"submit","item":"m","destination":-1,"deadline_ms":1,"priority":0}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_lines_are_single_json_objects() {
+        let line = ErrorResponse::line("boom");
+        assert_eq!(line, r#"{"ok":false,"error":"boom"}"#);
+        assert!(!line.contains('\n'));
+    }
+}

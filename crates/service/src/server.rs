@@ -1,0 +1,339 @@
+//! The TCP daemon: accept loop, crossbeam worker pool, and the shared
+//! engine behind a `parking_lot::RwLock`.
+//!
+//! Submissions take the write lock (admission mutates the ledger) and are
+//! therefore serialized — the order in which concurrent clients win the
+//! lock *is* the decision order, and the snapshot records it, so a
+//! sequential replay of the same order reproduces the state byte for
+//! byte. Queries, snapshots, and metrics take the read lock and can run
+//! concurrently with each other.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+use serde::Value;
+
+use crate::engine::AdmissionEngine;
+use crate::protocol::{response_line, ClientRequest, ErrorResponse};
+
+/// Upper bucket bounds of the service-latency histogram, in microseconds.
+/// A final unbounded bucket catches everything above the last bound.
+const BUCKET_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// Fixed-bucket histogram of per-submission service latency (lock wait +
+/// admission decision), reported by the `metrics` verb.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKET_BOUNDS_US.len() + 1],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, micros: u64) {
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum_us += micros;
+        self.max_us = self.max_us.max(micros);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-quantile;
+    /// the exact maximum for observations in the unbounded bucket.
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return BUCKET_BOUNDS_US.get(bucket).copied().unwrap_or(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The histogram as a JSON value for the `metrics` response.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let buckets = Value::Array(
+            self.counts
+                .iter()
+                .enumerate()
+                .map(|(bucket, &n)| {
+                    let bound =
+                        BUCKET_BOUNDS_US.get(bucket).map_or(Value::Null, |&b| Value::UInt(b));
+                    Value::Object(vec![
+                        ("le_us".to_string(), bound),
+                        ("count".to_string(), Value::UInt(n)),
+                    ])
+                })
+                .collect(),
+        );
+        let mean = self.sum_us.checked_div(self.count).unwrap_or(0);
+        Value::Object(vec![
+            ("count".to_string(), Value::UInt(self.count)),
+            ("mean_us".to_string(), Value::UInt(mean)),
+            ("p50_us".to_string(), Value::UInt(self.percentile_us(0.50))),
+            ("p90_us".to_string(), Value::UInt(self.percentile_us(0.90))),
+            ("p99_us".to_string(), Value::UInt(self.percentile_us(0.99))),
+            ("max_us".to_string(), Value::UInt(self.max_us)),
+            ("buckets".to_string(), buckets),
+        ])
+    }
+}
+
+/// Tunables of [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads — also the number of connections served at once.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let fallback = 8;
+        let workers = thread::available_parallelism().map_or(fallback, usize::from).max(fallback);
+        ServerConfig { workers }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    engine: RwLock<AdmissionEngine>,
+    latency: Mutex<LatencyHistogram>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A bound (but not yet running) admission-control daemon.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) around `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(engine: AdmissionEngine, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            config,
+            shared: Arc::new(Shared {
+                engine: RwLock::new(engine),
+                latency: Mutex::new(LatencyHistogram::new()),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the address lookup.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client issues `shutdown`, then drains:
+    /// queued connections are still handled, workers are joined, and the
+    /// final engine snapshot is returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal socket errors from the accept loop.
+    pub fn run(self) -> io::Result<Value> {
+        let (sender, receiver) = channel::bounded::<TcpStream>(self.config.workers.max(1) * 2);
+        let mut workers = Vec::with_capacity(self.config.workers.max(1));
+        for _ in 0..self.config.workers.max(1) {
+            let receiver = receiver.clone();
+            let shared = Arc::clone(&self.shared);
+            workers.push(thread::spawn(move || {
+                while let Ok(stream) = receiver.recv() {
+                    handle_connection(&shared, stream);
+                }
+            }));
+        }
+        drop(receiver);
+
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        break; // the wake-up poke from the shutdown verb
+                    }
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(self.shared.engine.read().snapshot())
+    }
+}
+
+/// Serves one connection: one NDJSON response line per request line.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // Poll with a short read timeout so idle connections notice the
+    // shutdown flag instead of pinning a drained worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_line_retrying(&mut reader, &mut line, shared) {
+            Some(0) | None => return, // EOF, hard error, or draining
+            Some(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = dispatch(shared, trimmed);
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// `read_line` that rides out timeout ticks, bailing once the server is
+/// draining. Returns `None` on hard errors or drain, bytes read otherwise.
+fn read_line_retrying(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    shared: &Shared,
+) -> Option<usize> {
+    loop {
+        match reader.read_line(line) {
+            Ok(n) => return Some(n),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Partial input (if any) stays in `line`; keep appending
+                // unless we are draining.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Handles one request line and produces one response line.
+fn dispatch(shared: &Shared, line: &str) -> String {
+    let request = match ClientRequest::parse(line) {
+        Ok(r) => r,
+        Err(message) => return ErrorResponse::line(message),
+    };
+    match request {
+        ClientRequest::Submit(args) => {
+            let start = Instant::now();
+            let response = shared.engine.write().submit(&args);
+            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared.latency.lock().record(micros);
+            response_line(&response)
+        }
+        ClientRequest::Query { request } => match shared.engine.read().query(request) {
+            Ok(response) => response_line(&response),
+            Err(message) => ErrorResponse::line(message),
+        },
+        ClientRequest::Snapshot => value_line(&shared.engine.read().snapshot()),
+        ClientRequest::Metrics => {
+            let counters = shared.engine.read().counters();
+            let counter_fields = match serde::to_value(&counters) {
+                Ok(Value::Object(fields)) => fields,
+                _ => Vec::new(),
+            };
+            let mut fields = vec![("ok".to_string(), Value::Bool(true))];
+            fields.extend(counter_fields);
+            fields.push(("latency".to_string(), shared.latency.lock().to_value()));
+            value_line(&Value::Object(fields))
+        }
+        ClientRequest::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Poke the accept loop so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+            value_line(&Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("draining".to_string(), Value::Bool(true)),
+            ]))
+        }
+    }
+}
+
+fn value_line(value: &Value) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| ErrorResponse::line(format!("serialize: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_come_from_bucket_bounds() {
+        let mut h = LatencyHistogram::new();
+        for micros in [10, 20, 30, 40, 60, 70, 80, 90, 2_000_000, 3_000_000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.percentile_us(0.50), 100); // 5th obs sits in the ≤100µs bucket
+        assert_eq!(h.percentile_us(0.99), 3_000_000); // overflow bucket → max
+        let v = h.to_value();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(10));
+        assert_eq!(v.get("max_us").and_then(Value::as_u64), Some(3_000_000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_us(0.5), 0);
+        assert_eq!(h.to_value().get("mean_us").and_then(Value::as_u64), Some(0));
+    }
+}

@@ -61,20 +61,27 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     if options.experiments.is_empty() || options.experiments.iter().any(|e| e == "all") {
-        options.experiments =
-            ["fig2", "fig3", "fig4", "fig5", "weights", "prio-first", "minmax", "exec", "extensions", "fault-tolerance", "congestion"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        options.experiments = [
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "weights",
+            "prio-first",
+            "minmax",
+            "exec",
+            "extensions",
+            "fault-tolerance",
+            "congestion",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     Ok(options)
 }
 
-fn run_experiment(
-    name: &str,
-    harness: &Harness,
-    options: &Options,
-) -> Option<ExperimentReport> {
+fn run_experiment(name: &str, harness: &Harness, options: &Options) -> Option<ExperimentReport> {
     match name {
         "fig2" => Some(experiments::fig2(harness)),
         "fig3" => Some(experiments::fig3(harness)),
@@ -86,19 +93,13 @@ fn run_experiment(
         "exec" => Some(experiments::exec(harness)),
         "extensions" => Some(experiments::extensions(harness)),
         "fault-tolerance" | "fault_tolerance" => {
-            let base = if options.small {
-                GeneratorConfig::small()
-            } else {
-                GeneratorConfig::paper()
-            };
+            let base =
+                if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
             Some(experiments::fault_tolerance(&base, options.cases.min(10)))
         }
         "congestion" => {
-            let base = if options.small {
-                GeneratorConfig::small()
-            } else {
-                GeneratorConfig::paper()
-            };
+            let base =
+                if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
             // Congestion sweeps 4x the load; a reduced case count keeps it
             // tractable while staying statistically meaningful.
             Some(experiments::congestion(&base, options.cases.min(10)))

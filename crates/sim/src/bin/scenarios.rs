@@ -82,9 +82,7 @@ fn main() -> ExitCode {
             if !msg.is_empty() {
                 eprintln!("error: {msg}");
             }
-            eprintln!(
-                "usage: scenarios [--seed N | --suite N] [--small] [--schedule] [--out DIR]"
-            );
+            eprintln!("usage: scenarios [--seed N | --suite N] [--small] [--schedule] [--out DIR]");
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
@@ -108,8 +106,7 @@ fn main() -> ExitCode {
             }
         };
         let path = options.out.join(format!("scenario-{seed:03}.json"));
-        if let Err(e) =
-            std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes()))
+        if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes()))
         {
             eprintln!("error: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;

@@ -166,11 +166,8 @@ fn main() -> ExitCode {
         eval.satisfied_count,
         eval.request_count
     );
-    for (level, (sat, total)) in eval
-        .satisfied_by_priority
-        .iter()
-        .zip(eval.total_by_priority.iter())
-        .enumerate()
+    for (level, (sat, total)) in
+        eval.satisfied_by_priority.iter().zip(eval.total_by_priority.iter()).enumerate()
     {
         println!("  priority {level}: {sat}/{total}");
     }

@@ -120,14 +120,10 @@ pub fn fig2(harness: &Harness) -> ExperimentReport {
         bounds.iter().map(|b| b.possible_satisfy as f64).sum::<f64>() / bounds.len() as f64;
     let flat = |label: &str, v: f64| Series { label: label.into(), values: vec![v; n] };
 
-    let single =
-        harness.mean_weighted_sum(SchedulerKind::SingleDijkstraRandom, weighting);
+    let single = harness.mean_weighted_sum(SchedulerKind::SingleDijkstraRandom, weighting);
     let random = harness.mean_weighted_sum(SchedulerKind::RandomDijkstra, weighting);
 
-    let mut series = vec![
-        flat("upper_bound", ub_mean),
-        flat("possible_satisfy", ps_mean),
-    ];
+    let mut series = vec![flat("upper_bound", ub_mean), flat("possible_satisfy", ps_mean)];
     for h in Heuristic::ALL {
         series.push(Series {
             label: format!("{h}/C4"),
@@ -146,15 +142,14 @@ pub fn fig2(harness: &Harness) -> ExperimentReport {
             &series,
             16,
         )],
-        tables: vec![sweep_table("Figure 2 series (mean weighted sum over the test cases)", &series)],
+        tables: vec![sweep_table(
+            "Figure 2 series (mean weighted sum over the test cases)",
+            &series,
+        )],
     }
 }
 
-fn criterion_figure(
-    id: &'static str,
-    heuristic: Heuristic,
-    harness: &Harness,
-) -> ExperimentReport {
+fn criterion_figure(id: &'static str, heuristic: Heuristic, harness: &Harness) -> ExperimentReport {
     let weighting = Weighting::W1_10_100;
     let series: Vec<Series> = heuristic
         .criteria()
@@ -217,15 +212,14 @@ pub fn weights(harness: &Harness) -> ExperimentReport {
     for h in Heuristic::ALL {
         for weighting in Weighting::ALL {
             let point = best_point(harness, h, CostCriterion::C4, weighting);
-            let results = harness
-                .results(SchedulerKind::Pairing(h, CostCriterion::C4, point), weighting);
+            let results =
+                harness.results(SchedulerKind::Pairing(h, CostCriterion::C4, point), weighting);
             let n = results.len() as f64;
             let mean_class = |lvl: usize| {
                 results.iter().map(|r| r.evaluation.satisfied_by_priority[lvl] as f64).sum::<f64>()
                     / n
             };
-            let mean_w =
-                results.iter().map(|r| r.evaluation.weighted_sum as f64).sum::<f64>() / n;
+            let mean_w = results.iter().map(|r| r.evaluation.weighted_sum as f64).sum::<f64>() / n;
             table.push_row(vec![
                 h.to_string(),
                 weighting.label().to_string(),
@@ -253,8 +247,7 @@ pub fn prio_first(harness: &Harness) -> ExperimentReport {
     let pf = harness.results(SchedulerKind::PriorityFirst, weighting);
     let n = pf.len() as f64;
     let pf_mean = pf.iter().map(|r| r.evaluation.weighted_sum as f64).sum::<f64>() / n;
-    let pf_high =
-        pf.iter().map(|r| r.evaluation.satisfied_by_priority[2] as f64).sum::<f64>() / n;
+    let pf_high = pf.iter().map(|r| r.evaluation.satisfied_by_priority[2] as f64).sum::<f64>() / n;
 
     let mut table = Table::new(
         format!(
@@ -275,13 +268,10 @@ pub fn prio_first(harness: &Harness) -> ExperimentReport {
         for &c in h.criteria() {
             let point = best_point(harness, h, c, weighting);
             let results = harness.results(SchedulerKind::Pairing(h, c, point), weighting);
-            let mean =
-                results.iter().map(|r| r.evaluation.weighted_sum as f64).sum::<f64>() / n;
-            let high = results
-                .iter()
-                .map(|r| r.evaluation.satisfied_by_priority[2] as f64)
-                .sum::<f64>()
-                / n;
+            let mean = results.iter().map(|r| r.evaluation.weighted_sum as f64).sum::<f64>() / n;
+            let high =
+                results.iter().map(|r| r.evaluation.satisfied_by_priority[2] as f64).sum::<f64>()
+                    / n;
             let better = results
                 .iter()
                 .zip(pf.iter())
@@ -366,10 +356,9 @@ pub fn exec(harness: &Harness) -> ExperimentReport {
         for &c in h.criteria() {
             let results = harness.results(SchedulerKind::Pairing(h, c, point), weighting);
             let n = results.len() as f64;
-            let mean =
-                |f: &dyn Fn(&crate::runner::CaseResult) -> f64| -> f64 {
-                    results.iter().map(f).sum::<f64>() / n
-                };
+            let mean = |f: &dyn Fn(&crate::runner::CaseResult) -> f64| -> f64 {
+                results.iter().map(f).sum::<f64>() / n
+            };
             table.push_row(vec![
                 format!("{h}/{c}"),
                 format!("{:.1}", mean(&|r| r.metrics.elapsed.as_secs_f64() * 1_000.0)),
@@ -467,20 +456,13 @@ pub fn extensions(harness: &Harness) -> ExperimentReport {
     let point = EuRatioPoint::Log10(0); // C3/C3Floor are ratio-independent
     let mut table = Table::new(
         "Ratio criteria vs the floored extension (mean weighted sum; C4 at its best point)",
-        vec![
-            "heuristic".into(),
-            "C3".into(),
-            "C3f (extension)".into(),
-            "C4 @ best x".into(),
-        ],
+        vec!["heuristic".into(), "C3".into(), "C3f (extension)".into(), "C4 @ best x".into()],
     );
     for h in Heuristic::ALL {
         let c3 = harness
             .mean_weighted_sum(SchedulerKind::Pairing(h, CostCriterion::C3, point), weighting);
-        let c3f = harness.mean_weighted_sum(
-            SchedulerKind::Pairing(h, CostCriterion::C3Floor, point),
-            weighting,
-        );
+        let c3f = harness
+            .mean_weighted_sum(SchedulerKind::Pairing(h, CostCriterion::C3Floor, point), weighting);
         let best = best_point(harness, h, CostCriterion::C4, weighting);
         let c4 = harness
             .mean_weighted_sum(SchedulerKind::Pairing(h, CostCriterion::C4, best), weighting);
@@ -578,18 +560,13 @@ pub fn fault_tolerance(base: &dstage_workload::GeneratorConfig, cases: usize) ->
                 let log = EventLog::new(&scenario, events).expect("ids from the scenario");
                 let outcome = simulate(&scenario, &log, &policy);
                 losses_total += victims.len();
-                recovered_total += victims
-                    .iter()
-                    .filter(|&&r| outcome.executed.delivery_of(r).is_some())
-                    .count();
+                recovered_total +=
+                    victims.iter().filter(|&&r| outcome.executed.delivery_of(r).is_some()).count();
                 let online_sum = outcome.executed.evaluate(&scenario, &weights).weighted_sum;
                 kept_pct_acc += 100.0 * online_sum as f64 / offline_sum as f64;
             }
-            let rate = if losses_total == 0 {
-                1.0
-            } else {
-                recovered_total as f64 / losses_total as f64
-            };
+            let rate =
+                if losses_total == 0 { 1.0 } else { recovered_total as f64 / losses_total as f64 };
             table.push_row(vec![
                 gamma_mins.to_string(),
                 losses_total.to_string(),

@@ -268,12 +268,8 @@ mod tests {
     #[test]
     fn plot_tolerates_nan_points() {
         let x: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
-        let plot = ascii_plot(
-            "fig",
-            &x,
-            &[Series { label: "s".into(), values: vec![f64::NAN, 1.0] }],
-            5,
-        );
+        let plot =
+            ascii_plot("fig", &x, &[Series { label: "s".into(), values: vec![f64::NAN, 1.0] }], 5);
         assert!(plot.contains("s"));
     }
 

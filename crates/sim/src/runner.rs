@@ -3,9 +3,10 @@
 //! so the figures share work (Figure 2 reuses the C4 series of Figures
 //! 3–5, and `Cost₃` runs once per sweep because it is E-U independent).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use dstage_core::baselines::{priority_first, random_dijkstra, single_dijkstra_random};
 use dstage_core::bounds::{possible_satisfy, upper_bound};
@@ -84,13 +85,16 @@ pub struct CaseBounds {
 }
 
 /// Cache from (scheduler, weighting) to the per-case results.
-type ResultCache = RefCell<HashMap<(SchedulerKind, Weighting), Rc<Vec<CaseResult>>>>;
+///
+/// `Mutex` + `Arc` (rather than `RefCell` + `Rc`) keep the harness
+/// `Send + Sync`, so callers may share one suite across threads.
+type ResultCache = Mutex<HashMap<(SchedulerKind, Weighting), Arc<Vec<CaseResult>>>>;
 
 /// The experiment harness over one generated test-case suite.
 pub struct Harness {
     cases: Vec<Scenario>,
     cache: ResultCache,
-    bounds_cache: RefCell<HashMap<Weighting, Rc<Vec<CaseBounds>>>>,
+    bounds_cache: Mutex<HashMap<Weighting, Arc<Vec<CaseBounds>>>>,
     verbose: bool,
 }
 
@@ -101,8 +105,8 @@ impl Harness {
         let cases = (0..n_cases as u64).map(|seed| generate(config, seed)).collect();
         Harness {
             cases,
-            cache: RefCell::new(HashMap::new()),
-            bounds_cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            bounds_cache: Mutex::new(HashMap::new()),
             verbose: false,
         }
     }
@@ -129,10 +133,10 @@ impl Harness {
     /// `Cost₃` pairings are normalized to a single E-U point (the
     /// criterion is ratio-independent), so an entire sweep of C3 costs one
     /// run per case.
-    pub fn results(&self, kind: SchedulerKind, weighting: Weighting) -> Rc<Vec<CaseResult>> {
+    pub fn results(&self, kind: SchedulerKind, weighting: Weighting) -> Arc<Vec<CaseResult>> {
         let key = (Self::normalize(kind), weighting);
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return Rc::clone(hit);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
         }
         if self.verbose {
             eprintln!("[harness] running {:?} under {} ...", key.0, weighting.label());
@@ -165,15 +169,15 @@ impl Harness {
                 }
             })
             .collect();
-        let rc = Rc::new(results);
-        self.cache.borrow_mut().insert(key, Rc::clone(&rc));
-        rc
+        let shared = Arc::new(results);
+        self.cache.lock().insert(key, Arc::clone(&shared));
+        shared
     }
 
     /// The per-case upper bounds under a weighting.
-    pub fn bounds(&self, weighting: Weighting) -> Rc<Vec<CaseBounds>> {
-        if let Some(hit) = self.bounds_cache.borrow().get(&weighting) {
-            return Rc::clone(hit);
+    pub fn bounds(&self, weighting: Weighting) -> Arc<Vec<CaseBounds>> {
+        if let Some(hit) = self.bounds_cache.lock().get(&weighting) {
+            return Arc::clone(hit);
         }
         if self.verbose {
             eprintln!("[harness] computing bounds under {} ...", weighting.label());
@@ -187,17 +191,16 @@ impl Harness {
                 possible_satisfy: possible_satisfy(scenario, &weights).weighted_sum,
             })
             .collect();
-        let rc = Rc::new(bounds);
-        self.bounds_cache.borrow_mut().insert(weighting, Rc::clone(&rc));
-        rc
+        let shared = Arc::new(bounds);
+        self.bounds_cache.lock().insert(weighting, Arc::clone(&shared));
+        shared
     }
 
     /// Mean weighted sum of a scheduler across the cases (the y-value of
     /// one figure point).
     pub fn mean_weighted_sum(&self, kind: SchedulerKind, weighting: Weighting) -> f64 {
         let results = self.results(kind, weighting);
-        results.iter().map(|r| r.evaluation.weighted_sum as f64).sum::<f64>()
-            / results.len() as f64
+        results.iter().map(|r| r.evaluation.weighted_sum as f64).sum::<f64>() / results.len() as f64
     }
 
     fn normalize(kind: SchedulerKind) -> SchedulerKind {
@@ -228,7 +231,7 @@ mod tests {
         );
         let a = h.results(kind, Weighting::W1_10_100);
         let b = h.results(kind, Weighting::W1_10_100);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 3);
     }
 
@@ -236,22 +239,14 @@ mod tests {
     fn c3_sweep_points_share_one_run() {
         let h = small_harness();
         let a = h.results(
-            SchedulerKind::Pairing(
-                Heuristic::PartialPath,
-                CostCriterion::C3,
-                EuRatioPoint::NegInf,
-            ),
+            SchedulerKind::Pairing(Heuristic::PartialPath, CostCriterion::C3, EuRatioPoint::NegInf),
             Weighting::W1_10_100,
         );
         let b = h.results(
-            SchedulerKind::Pairing(
-                Heuristic::PartialPath,
-                CostCriterion::C3,
-                EuRatioPoint::PosInf,
-            ),
+            SchedulerKind::Pairing(Heuristic::PartialPath, CostCriterion::C3, EuRatioPoint::PosInf),
             Weighting::W1_10_100,
         );
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -260,7 +255,24 @@ mod tests {
         let kind = SchedulerKind::PriorityFirst;
         let a = h.results(kind, Weighting::W1_10_100);
         let b = h.results(kind, Weighting::W1_5_10);
-        assert!(!Rc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn harness_is_shareable_across_threads() {
+        let h = std::sync::Arc::new(small_harness());
+        let kind = SchedulerKind::PriorityFirst;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || h.results(kind, Weighting::W1_10_100))
+            })
+            .collect();
+        let first = h.results(kind, Weighting::W1_10_100);
+        for handle in handles {
+            let other = handle.join().expect("worker panicked");
+            assert_eq!(other.len(), first.len());
+        }
     }
 
     #[test]

@@ -33,8 +33,7 @@ impl Stats {
         let std_dev = if n < 2 {
             0.0
         } else {
-            let var =
-                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
             var.sqrt()
         };
         Stats { mean, min, max, std_dev, n }

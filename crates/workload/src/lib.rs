@@ -85,9 +85,8 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Scenario {
     let total_requests = machines * factor as usize;
     let generated = requests::generate_items(config, machines, total_requests, &mut rng);
 
-    let mut scenario = Scenario::builder(builder.build())
-        .gc_delay(config.gc_delay)
-        .horizon(config.horizon);
+    let mut scenario =
+        Scenario::builder(builder.build()).gc_delay(config.gc_delay).horizon(config.horizon);
     for g in &generated {
         scenario = scenario.add_item(g.item.clone());
     }

@@ -91,10 +91,7 @@ pub fn generate_windows(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<Windo
     for i in 0..count as usize {
         let start = cursor;
         let end = start + duration.as_millis();
-        windows.push(Window {
-            start: SimTime::from_millis(start),
-            end: SimTime::from_millis(end),
-        });
+        windows.push(Window { start: SimTime::from_millis(start), end: SimTime::from_millis(end) });
         cursor = end + gaps.get(i).copied().unwrap_or(0);
     }
     debug_assert!(windows.last().is_none_or(|w| w.end.as_millis() <= DAY_MS));
@@ -125,8 +122,7 @@ mod tests {
                 assert!(w.start < w.end, "seed {seed}");
                 assert!(w.end.as_millis() <= DAY_MS, "seed {seed}");
             }
-            let busy: u64 =
-                windows.iter().map(|w| w.end.as_millis() - w.start.as_millis()).sum();
+            let busy: u64 = windows.iter().map(|w| w.end.as_millis() - w.start.as_millis()).sum();
             for pair in windows.windows(2) {
                 if busy < DAY_MS {
                     // Unavailable time exists: gaps must be positive.
@@ -162,10 +158,7 @@ mod tests {
         for seed in 0..100 {
             let mut rng = StdRng::seed_from_u64(seed);
             let windows = generate_windows(&config, &mut rng);
-            let busy: u64 = windows
-                .iter()
-                .map(|w| w.end.as_millis() - w.start.as_millis())
-                .sum();
+            let busy: u64 = windows.iter().map(|w| w.end.as_millis() - w.start.as_millis()).sum();
             let duration = windows[0].end.as_millis() - windows[0].start.as_millis();
             // floor(available / duration) * duration >= available - duration
             assert!(busy + duration >= DAY_MS / 2, "seed {seed}: busy {busy}");
@@ -179,8 +172,7 @@ mod tests {
         for seed in 0..100 {
             let mut rng = StdRng::seed_from_u64(seed);
             let windows = generate_windows(&config, &mut rng);
-            let busy: u64 =
-                windows.iter().map(|w| w.end.as_millis() - w.start.as_millis()).sum();
+            let busy: u64 = windows.iter().map(|w| w.end.as_millis() - w.start.as_millis()).sum();
             let unavailable = DAY_MS - busy;
             assert!(
                 windows[0].start.as_millis() <= unavailable / 3 + 1,

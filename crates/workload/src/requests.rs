@@ -42,11 +42,7 @@ pub fn generate_items(
         let remaining = total_requests - produced;
         let max_src = config.max_sources.min(machines - 1).max(1);
         let n_sources = rng.gen_range(1..=max_src);
-        let max_dst = config
-            .max_destinations
-            .min(machines - n_sources)
-            .min(remaining)
-            .max(1);
+        let max_dst = config.max_destinations.min(machines - n_sources).min(remaining).max(1);
         let n_dests = rng.gen_range(1..=max_dst);
 
         let mut ids: Vec<usize> = (0..machines).collect();

@@ -107,7 +107,13 @@ pub fn fan_out() -> Scenario {
     let two_hours = SimTime::from_hours(2);
     b.add_link(VirtualLink::new(m(0), m(1), SimTime::ZERO, two_hours, BitsPerSec::new(8_000)));
     for leaf in 2..5u32 {
-        b.add_link(VirtualLink::new(m(1), m(leaf), SimTime::ZERO, two_hours, BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(1),
+            m(leaf),
+            SimTime::ZERO,
+            two_hours,
+            BitsPerSec::new(8_000),
+        ));
     }
     Scenario::builder(b.build())
         .add_item(DataItem::new(

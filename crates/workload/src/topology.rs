@@ -53,11 +53,7 @@ pub fn generate_topology(
     links
 }
 
-fn draw_topology(
-    config: &GeneratorConfig,
-    machines: usize,
-    rng: &mut StdRng,
-) -> Vec<PhysicalLink> {
+fn draw_topology(config: &GeneratorConfig, machines: usize, rng: &mut StdRng) -> Vec<PhysicalLink> {
     // §5.3: each machine's outbound degree is drawn, then "the end
     // machines for the links are randomly generated", with at most
     // `max_links_per_pair` physical links between any ordered pair and no
@@ -164,8 +160,7 @@ mod tests {
 
     #[test]
     fn connectivity_check_detects_disconnection() {
-        let links =
-            vec![PhysicalLink { from: 0, to: 1 }, PhysicalLink { from: 1, to: 0 }];
+        let links = vec![PhysicalLink { from: 0, to: 1 }, PhysicalLink { from: 1, to: 0 }];
         assert!(is_strongly_connected(2, &links));
         assert!(!is_strongly_connected(3, &links));
         assert!(!is_strongly_connected(2, &[PhysicalLink { from: 0, to: 1 }]));
@@ -182,8 +177,7 @@ mod tests {
             let count = links.iter().filter(|l| l.from == from).count();
             assert!(count <= 4, "machine {from} has {count} links");
             for to in 0..3 {
-                let multiplicity =
-                    links.iter().filter(|l| l.from == from && l.to == to).count();
+                let multiplicity = links.iter().filter(|l| l.from == from && l.to == to).count();
                 assert!(multiplicity <= 2);
             }
         }

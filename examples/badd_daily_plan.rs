@@ -71,6 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rd = random_dijkstra(&scenario, seed).schedule.evaluate(&scenario, &weights);
     println!("random_Dijkstra   = {:>6}   (lower bound: random step choice)", rd.weighted_sum);
     let sd = single_dijkstra_random(&scenario, seed).schedule.evaluate(&scenario, &weights);
-    println!("single_Dij_random = {:>6}   (lower bound: stale plans, no re-planning)", sd.weighted_sum);
+    println!(
+        "single_Dij_random = {:>6}   (lower bound: stale plans, no re-planning)",
+        sd.weighted_sum
+    );
     Ok(())
 }

@@ -34,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Terrestrial links from the relay are always available but slow.
     let horizon = SimTime::from_hours(2);
     net.add_link(VirtualLink::new(relay, recon, SimTime::ZERO, horizon, BitsPerSec::from_kbps(96)));
-    net.add_link(VirtualLink::new(relay, logistics, SimTime::ZERO, horizon, BitsPerSec::from_kbps(96)));
+    net.add_link(VirtualLink::new(
+        relay,
+        logistics,
+        SimTime::ZERO,
+        horizon,
+        BitsPerSec::from_kbps(96),
+    ));
 
     // One 800 KiB item; both consumers request it — the general before the
     // private, as the paper puts it.
@@ -44,8 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Bytes::from_kib(800),
             vec![DataSource::new(source, SimTime::ZERO)],
         ))
-        .add_request(Request::new(DataItemId::new(0), recon, SimTime::from_mins(40), Priority::HIGH))
-        .add_request(Request::new(DataItemId::new(0), logistics, SimTime::from_mins(90), Priority::LOW))
+        .add_request(Request::new(
+            DataItemId::new(0),
+            recon,
+            SimTime::from_mins(40),
+            Priority::HIGH,
+        ))
+        .add_request(Request::new(
+            DataItemId::new(0),
+            logistics,
+            SimTime::from_mins(90),
+            Priority::LOW,
+        ))
         .build()?;
 
     // Peek under the hood: the earliest-arrival tree for the item on the

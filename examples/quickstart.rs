@@ -20,8 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // hq -> relay: a healthy 1.5 Mbit/s trunk.
     net.add_link(VirtualLink::new(hq, relay, SimTime::ZERO, all_day, BitsPerSec::new(1_500_000)));
     // relay -> field units: slow tactical links.
-    net.add_link(VirtualLink::new(relay, field_a, SimTime::ZERO, all_day, BitsPerSec::from_kbps(128)));
-    net.add_link(VirtualLink::new(relay, field_b, SimTime::ZERO, all_day, BitsPerSec::from_kbps(64)));
+    net.add_link(VirtualLink::new(
+        relay,
+        field_a,
+        SimTime::ZERO,
+        all_day,
+        BitsPerSec::from_kbps(128),
+    ));
+    net.add_link(VirtualLink::new(
+        relay,
+        field_b,
+        SimTime::ZERO,
+        all_day,
+        BitsPerSec::from_kbps(64),
+    ));
 
     // Two data items stored at headquarters.
     let scenario = Scenario::builder(net.build())
@@ -37,9 +49,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))
         // Both field units need the terrain map; only field-b needs the
         // forecast. Deadlines and priorities differ per request.
-        .add_request(Request::new(DataItemId::new(0), field_a, SimTime::from_mins(20), Priority::HIGH))
-        .add_request(Request::new(DataItemId::new(0), field_b, SimTime::from_mins(45), Priority::MEDIUM))
-        .add_request(Request::new(DataItemId::new(1), field_b, SimTime::from_mins(30), Priority::LOW))
+        .add_request(Request::new(
+            DataItemId::new(0),
+            field_a,
+            SimTime::from_mins(20),
+            Priority::HIGH,
+        ))
+        .add_request(Request::new(
+            DataItemId::new(0),
+            field_b,
+            SimTime::from_mins(45),
+            Priority::MEDIUM,
+        ))
+        .add_request(Request::new(
+            DataItemId::new(1),
+            field_b,
+            SimTime::from_mins(30),
+            Priority::LOW,
+        ))
         .build()?;
 
     // Schedule with the paper's best pairing: full path/one destination

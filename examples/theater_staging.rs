@@ -25,14 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "trunk: {} per pass, {} on / {} off\n",
-        config.trunk,
-        config.trunk_window,
-        config.trunk_gap
+        config.trunk, config.trunk_window, config.trunk_gap
     );
 
     let weights = PriorityWeights::paper_1_10_100();
-    let outcome =
-        run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+    let outcome = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
     outcome.schedule.validate(&scenario)?;
     let eval = outcome.schedule.evaluate(&scenario, &weights);
     println!(

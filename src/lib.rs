@@ -16,7 +16,10 @@
 //!   §5.4 text results;
 //! * [`dynamic`] — the online (rolling-horizon) extension: ad-hoc request
 //!   releases, link outages, and copy losses with re-planning (the
-//!   paper's stated future work).
+//!   paper's stated future work);
+//! * [`service`] — the concurrent admission-control daemon: a TCP
+//!   NDJSON protocol (`submit`/`query`/`snapshot`/`metrics`/`shutdown`)
+//!   around a live ledger, with client and load-generator binaries.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ pub use dstage_dynamic as dynamic;
 pub use dstage_model as model;
 pub use dstage_path as path;
 pub use dstage_resources as resources;
+pub use dstage_service as service;
 pub use dstage_sim as sim;
 pub use dstage_workload as workload;
 

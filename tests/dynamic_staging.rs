@@ -86,7 +86,8 @@ fn disturbances_never_pay() {
     let w = PriorityWeights::paper_1_10_100();
     for seed in 0..3u64 {
         let scenario = generate(&GeneratorConfig::small(), seed);
-        let offline = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
+        let offline =
+            run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());
         let offline_sum = offline.schedule.evaluate(&scenario, &w).weighted_sum;
         let events = random_events(&scenario, seed + 200);
         let online = simulate(&scenario, &events, &policy());
@@ -103,10 +104,8 @@ fn pure_release_events_with_zero_delay_match_static() {
     // Releasing every request at t=0 via explicit events is the static
     // problem.
     let scenario = generate(&GeneratorConfig::small(), 4);
-    let events: Vec<Event> = scenario
-        .request_ids()
-        .map(|r| Event::new(SimTime::ZERO, EventKind::Release(r)))
-        .collect();
+    let events: Vec<Event> =
+        scenario.request_ids().map(|r| Event::new(SimTime::ZERO, EventKind::Release(r))).collect();
     let log = EventLog::new(&scenario, events).unwrap();
     let online = simulate(&scenario, &log, &policy());
     let offline = run(&scenario, Heuristic::FullPathOneDestination, &HeuristicConfig::paper_best());

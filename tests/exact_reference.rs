@@ -2,7 +2,7 @@
 //! are compared against the exhaustive order-search reference — the
 //! comparison the paper could not run at realistic sizes (§5.1).
 
-use data_staging::core::cost::{CostCriterion, EuWeights};
+use data_staging::core::cost::EuWeights;
 use data_staging::core::exact::best_order_schedule;
 use data_staging::prelude::*;
 use data_staging::workload::{generate, GeneratorConfig};

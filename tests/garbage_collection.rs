@@ -26,8 +26,16 @@ fn tight_relay_scenario(gamma_mins: u64) -> Scenario {
     b.add_link(VirtualLink::new(relay, dst, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
     Scenario::builder(b.build())
         .gc_delay(SimDuration::from_mins(gamma_mins))
-        .add_item(DataItem::new("first", Bytes::new(10_000), vec![DataSource::new(src, SimTime::ZERO)]))
-        .add_item(DataItem::new("second", Bytes::new(10_000), vec![DataSource::new(src, SimTime::ZERO)]))
+        .add_item(DataItem::new(
+            "first",
+            Bytes::new(10_000),
+            vec![DataSource::new(src, SimTime::ZERO)],
+        ))
+        .add_item(DataItem::new(
+            "second",
+            Bytes::new(10_000),
+            vec![DataSource::new(src, SimTime::ZERO)],
+        ))
         .add_request(Request::new(item(0), dst, SimTime::from_mins(5), Priority::HIGH))
         .add_request(Request::new(item(1), dst, SimTime::from_mins(60), Priority::HIGH))
         .build()

@@ -1,0 +1,433 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde-compatible facade: the same `Serialize` / `Deserialize`
+//! trait shapes (including derive macros, `#[serde(transparent)]`,
+//! `#[serde(with = "...")]`, and `#[serde(skip_serializing_if = "...")]`),
+//! backed by a single self-describing [`Value`] data model instead of the
+//! real crate's visitor machinery. `serde_json` (also vendored) is the only
+//! data format in the workspace, so the Value-backed design is lossless
+//! for every type the project serializes.
+
+mod value;
+
+pub use value::{write_compact, write_pretty, Number, Value};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error helpers (mirrors `serde::ser`).
+pub mod ser {
+    use core::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error helpers (mirrors `serde::de`).
+pub mod de {
+    use core::fmt::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can turn one [`Value`] into its output form.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Consumes a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce one [`Value`] from its input form.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    /// Produces the input as a value tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given format.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given format.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A simple string-message error used by the in-memory [`ValueSerializer`]
+/// and [`ValueDeserializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl core::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializer that materializes the value tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer reading from an in-memory value tree.
+pub struct ValueDeserializer(Value);
+
+impl ValueDeserializer {
+    /// Wraps a value tree for deserialization.
+    #[must_use]
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer(value)
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn into_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any owned type from a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize implementations for primitives and std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::UInt(u64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.into_value()?;
+                let n = v.as_u64().ok_or_else(|| {
+                    de::Error::custom(format!(
+                        "expected unsigned integer, found {}", v.kind()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("integer {} out of range", n))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::UInt(*self as u64))
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let n = u64::deserialize(deserializer)?;
+        usize::try_from(n).map_err(|_| de::Error::custom(format!("integer {n} out of range")))
+    }
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Int(i64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.into_value()?;
+                let n = v.as_i64().ok_or_else(|| {
+                    de::Error::custom(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("integer {} out of range", n))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_de_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Int(*self as i64))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let n = i64::deserialize(deserializer)?;
+        isize::try_from(n).map_err(|_| de::Error::custom(format!("integer {n} out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        v.as_f64()
+            .ok_or_else(|| de::Error::custom(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(f64::deserialize(deserializer)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        match v {
+            Value::String(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(ValueDeserializer::new(other))
+                .map(Some)
+                .map_err(|e| de::Error::custom(e)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(|e| ser::Error::custom(e))?);
+        }
+        serializer.serialize_value(Value::Array(out))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        match v {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|item| {
+                    T::deserialize(ValueDeserializer::new(item)).map_err(|e| de::Error::custom(e))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let out = vec![
+                    $(to_value(&self.$idx).map_err(|e| ser::Error::custom(e))?),+
+                ];
+                serializer.serialize_value(Value::Array(out))
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let v = deserializer.into_value()?;
+                let Value::Array(items) = v else {
+                    return Err(de::Error::custom("expected array for tuple"));
+                };
+                let expected = [$(stringify!($t)),+].len();
+                if items.len() != expected {
+                    return Err(de::Error::custom(format!(
+                        "expected array of length {}, found {}", expected, items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok((
+                    $({
+                        let _ = stringify!($idx);
+                        $t::deserialize(ValueDeserializer::new(
+                            iter.next().expect("length checked"),
+                        ))
+                        .map_err(|e| de::Error::custom(e))?
+                    },)+
+                ))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize, V: Serialize, S2> Serialize for std::collections::HashMap<K, V, S2> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = match to_value(k).map_err(|e| ser::Error::custom(e))? {
+                Value::String(s) => s,
+                other => other.to_json_key(),
+            };
+            entries.push((key, to_value(v).map_err(|e| ser::Error::custom(e))?));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = match to_value(k).map_err(|e| ser::Error::custom(e))? {
+                Value::String(s) => s,
+                other => other.to_json_key(),
+            };
+            entries.push((key, to_value(v).map_err(|e| ser::Error::custom(e))?));
+        }
+        serializer.serialize_value(Value::Object(entries))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}

@@ -1,0 +1,272 @@
+//! The self-describing value tree shared by the vendored `serde` facade
+//! and the vendored `serde_json` format.
+
+use core::fmt;
+
+/// A JSON-shaped value tree.
+///
+/// Object entries preserve insertion order, which keeps every serialized
+/// artifact in the workspace byte-deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A negative integer (positives normalize to [`Value::UInt`]).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of named entries.
+    Object(Vec<(String, Value)>),
+}
+
+/// Numeric view of a [`Value`] (kept for API familiarity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Negative integer.
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Float.
+    Float(f64),
+}
+
+impl Value {
+    /// A short name of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object entry by key (`None` for non-objects too).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Consumes the value into object entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the kind name of the non-object value.
+    pub fn into_object(self) -> Result<Vec<(String, Value)>, &'static str> {
+        match self {
+            Value::Object(entries) => Ok(entries),
+            other => Err(other.kind()),
+        }
+    }
+
+    /// Consumes the value into array items.
+    ///
+    /// # Errors
+    ///
+    /// Returns the kind name of the non-array value.
+    pub fn into_array(self) -> Result<Vec<Value>, &'static str> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(other.kind()),
+        }
+    }
+
+    /// Renders a scalar as a JSON object key (maps with non-string keys).
+    #[must_use]
+    pub fn to_json_key(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            Value::UInt(n) => n.to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::value::write_compact(self))
+    }
+}
+
+/// Renders a value as compact JSON (no whitespace).
+#[must_use]
+pub fn write_compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Renders a value as pretty JSON with 2-space indentation.
+#[must_use]
+pub fn write_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => out.push_str(&format_f64(*x)),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn format_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

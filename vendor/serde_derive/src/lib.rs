@@ -1,0 +1,757 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with the
+//! subset of attributes this workspace uses:
+//!
+//! * `#[serde(transparent)]` on newtype structs,
+//! * `#[serde(with = "module")]` on fields,
+//! * `#[serde(skip_serializing_if = "path")]` on fields,
+//!
+//! over plain structs (named, tuple, unit) and enums (unit, newtype,
+//! tuple, and struct variants, externally tagged like real serde). The
+//! parser walks raw `proc_macro` token trees — no `syn`/`quote`, because
+//! the build environment is fully offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    transparent: bool,
+    with: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: Option<String>,
+    ty: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+#[derive(Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list as written, e.g. `'a, T`. Empty if none.
+    generics: String,
+    attrs: SerdeAttrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_serde_attr(group_tokens: Vec<TokenTree>, attrs: &mut SerdeAttrs) {
+    // group_tokens are the tokens inside `#[serde( ... )]`'s inner parens.
+    let mut iter = group_tokens.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        let TokenTree::Ident(name) = tok else { continue };
+        let name = name.to_string();
+        let mut value: Option<String> = None;
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            iter.next();
+            if let Some(TokenTree::Literal(lit)) = iter.next() {
+                let text = lit.to_string();
+                value = Some(text.trim_matches('"').to_string());
+            }
+        }
+        match name.as_str() {
+            "transparent" => attrs.transparent = true,
+            "with" => attrs.with = value,
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            _ => {}
+        }
+        // Skip a trailing comma, if any.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes leading attributes (`#[...]`), folding `#[serde(...)]` into
+/// `attrs`, and returns the remaining tokens untouched.
+fn take_attrs(tokens: &mut std::iter::Peekable<std::vec::IntoIter<TokenTree>>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(first)) = inner.first() {
+                        if first.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                parse_serde_attr(args.stream().into_iter().collect(), &mut attrs);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<std::vec::IntoIter<TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Collects the generic parameter list after the type name, returning the
+/// raw text between `<` and the matching `>` (empty when absent).
+fn take_generics(tokens: &mut std::iter::Peekable<std::vec::IntoIter<TokenTree>>) -> String {
+    if !matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return String::new();
+    }
+    tokens.next();
+    let mut depth = 1usize;
+    let mut text = String::new();
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        push_token(&mut text, &tok);
+    }
+    text.trim().to_string()
+}
+
+/// Appends one token to flattened source text. Tokens are separated by
+/// spaces except after a lifetime quote, which must stay glued to its
+/// ident (`' a` is not a lifetime).
+fn push_token(text: &mut String, tok: &TokenTree) {
+    text.push_str(&tok.to_string());
+    if !matches!(tok, TokenTree::Punct(p) if p.as_char() == '\'') {
+        text.push(' ');
+    }
+}
+
+/// Splits a generic parameter list into bare parameter names (bounds
+/// stripped), e.g. `'a, T: Clone` -> `['a, T]`.
+fn generic_names(generics: &str) -> Vec<String> {
+    if generics.is_empty() {
+        return Vec::new();
+    }
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in generics.chars() {
+        match c {
+            '<' | '(' | '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                names.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        names.push(current.trim().to_string());
+    }
+    names
+        .into_iter()
+        .map(|p| p.split(':').next().unwrap_or("").trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// Parses the type tokens of one field: everything until a comma at
+/// angle-bracket depth zero.
+fn take_type(tokens: &mut std::iter::Peekable<std::vec::IntoIter<TokenTree>>) -> String {
+    let mut depth = 0i32;
+    let mut text = String::new();
+    while let Some(tok) = tokens.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        push_token(&mut text, &tokens.next().expect("peeked"));
+    }
+    // Skip the trailing comma.
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        tokens.next();
+    }
+    text.trim().to_string()
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = group.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let attrs = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else { break };
+        // Consume the ':'.
+        tokens.next();
+        let ty = take_type(&mut tokens);
+        fields.push(Field { name: Some(name.to_string()), ty, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = group.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let attrs = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let ty = take_type(&mut tokens);
+        if ty.is_empty() {
+            break;
+        }
+        fields.push(Field { name: None, ty, attrs });
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens = group.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        let _attrs = take_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else { break };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a trailing comma.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name: name.to_string(), fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    let attrs = take_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    let generics = take_generics(&mut tokens);
+    let data = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input { name, generics, attrs, data })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation helpers
+// ---------------------------------------------------------------------------
+
+fn type_is_option(ty: &str) -> bool {
+    let t = ty.trim_start_matches(":: ").trim();
+    t.starts_with("Option ") || t.starts_with("Option<") || t == "Option"
+        || t.starts_with("core :: option :: Option")
+        || t.starts_with("std :: option :: Option")
+}
+
+/// `impl` header pieces: (`<'a, T>` for the impl, `<'a, T>` for the type).
+fn impl_generics(input: &Input, extra: Option<&str>) -> (String, String) {
+    let names = generic_names(&input.generics);
+    let mut decl_parts: Vec<String> = Vec::new();
+    if let Some(e) = extra {
+        decl_parts.push(e.to_string());
+    }
+    if !input.generics.is_empty() {
+        decl_parts.push(input.generics.clone());
+    }
+    let decl =
+        if decl_parts.is_empty() { String::new() } else { format!("<{}>", decl_parts.join(", ")) };
+    let ty = if names.is_empty() { String::new() } else { format!("<{}>", names.join(", ")) };
+    (decl, ty)
+}
+
+fn ser_field_expr(access: &str, attrs: &SerdeAttrs) -> String {
+    match &attrs.with {
+        Some(module) => format!(
+            "{module}::serialize({access}, ::serde::ValueSerializer)\
+             .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?"
+        ),
+        None => format!(
+            "::serde::to_value({access})\
+             .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?"
+        ),
+    }
+}
+
+fn de_field_expr(value_expr: &str, ty: &str, attrs: &SerdeAttrs) -> String {
+    match &attrs.with {
+        Some(module) => format!(
+            "{module}::deserialize(::serde::ValueDeserializer::new({value_expr}))\
+             .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?"
+        ),
+        None => format!(
+            "<{ty} as ::serde::Deserialize<'_>>::deserialize(\
+             ::serde::ValueDeserializer::new({value_expr}))\
+             .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?"
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize derive
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (decl, ty) = impl_generics(input, None);
+    let body = match &input.data {
+        Data::Struct(fields) => gen_serialize_struct(input, fields),
+        Data::Enum(variants) => gen_serialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Serialize for {name}{ty} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_struct(input: &Input, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "serializer.serialize_value(::serde::Value::Null)".to_string(),
+        Fields::Tuple(fs) if fs.len() == 1 || input.attrs.transparent => {
+            // Newtype / transparent: serialize the inner field directly.
+            let expr = ser_field_expr("&self.0", &fs[0].attrs);
+            format!("let __serde_v = {expr}; serializer.serialize_value(__serde_v)")
+        }
+        Fields::Tuple(fs) => {
+            let mut out = String::from(
+                "let mut __serde_items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for (i, f) in fs.iter().enumerate() {
+                let expr = ser_field_expr(&format!("&self.{i}"), &f.attrs);
+                out.push_str(&format!("__serde_items.push({expr});\n"));
+            }
+            out.push_str("serializer.serialize_value(::serde::Value::Array(__serde_items))");
+            out
+        }
+        Fields::Named(fs) if input.attrs.transparent && fs.len() == 1 => {
+            let fname = fs[0].name.as_deref().expect("named field");
+            let expr = ser_field_expr(&format!("&self.{fname}"), &fs[0].attrs);
+            format!("let __serde_v = {expr}; serializer.serialize_value(__serde_v)")
+        }
+        Fields::Named(fs) => {
+            let mut out = String::from(
+                "let mut __serde_entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new();\n",
+            );
+            for f in fs {
+                let fname = f.name.as_deref().expect("named field");
+                let expr = ser_field_expr(&format!("&self.{fname}"), &f.attrs);
+                let push = format!(
+                    "__serde_entries.push((::std::string::String::from(\"{fname}\"), {expr}));\n"
+                );
+                match &f.attrs.skip_serializing_if {
+                    Some(pred) => out.push_str(&format!(
+                        "if !{pred}(&self.{fname}) {{ {push} }}\n"
+                    )),
+                    None => out.push_str(&push),
+                }
+            }
+            out.push_str("serializer.serialize_value(::serde::Value::Object(__serde_entries))");
+            out
+        }
+    }
+}
+
+fn gen_serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => serializer.serialize_value(\
+                 ::serde::Value::String(::std::string::String::from(\"{vname}\"))),\n"
+            )),
+            Fields::Tuple(fs) if fs.len() == 1 => {
+                let expr = ser_field_expr("__serde_f0", &fs[0].attrs);
+                arms.push_str(&format!(
+                    "{name}::{vname}(__serde_f0) => {{\n\
+                         let __serde_v = {expr};\n\
+                         serializer.serialize_value(::serde::Value::Object(vec![(\
+                         ::std::string::String::from(\"{vname}\"), __serde_v)]))\n\
+                     }}\n"
+                ));
+            }
+            Fields::Tuple(fs) => {
+                let binders: Vec<String> =
+                    (0..fs.len()).map(|i| format!("__serde_f{i}")).collect();
+                let mut body = String::from(
+                    "let mut __serde_items: ::std::vec::Vec<::serde::Value> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for (i, f) in fs.iter().enumerate() {
+                    let expr = ser_field_expr(&format!("__serde_f{i}"), &f.attrs);
+                    body.push_str(&format!("__serde_items.push({expr});\n"));
+                }
+                body.push_str(&format!(
+                    "serializer.serialize_value(::serde::Value::Object(vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Array(__serde_items))]))"
+                ));
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => {{ {body} }}\n",
+                    binders.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let binders: Vec<&str> =
+                    fs.iter().map(|f| f.name.as_deref().expect("named")).collect();
+                let mut body = String::from(
+                    "let mut __serde_entries: \
+                     ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fs {
+                    let fname = f.name.as_deref().expect("named");
+                    let expr = ser_field_expr(fname, &f.attrs);
+                    body.push_str(&format!(
+                        "__serde_entries.push((::std::string::String::from(\"{fname}\"), \
+                         {expr}));\n"
+                    ));
+                }
+                body.push_str(&format!(
+                    "serializer.serialize_value(::serde::Value::Object(vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Object(__serde_entries))]))"
+                ));
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{ {body} }}\n",
+                    binders.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}\n}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize derive
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if !input.generics.is_empty() {
+        return format!(
+            "compile_error!(\"the vendored serde derive does not support generics on \
+             Deserialize (type {name})\");"
+        );
+    }
+    let body = match &input.data {
+        Data::Struct(fields) => gen_deserialize_struct(input, fields),
+        Data::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Generates the extraction of named `fields` from `__serde_entries` into
+/// local variables named after the fields, followed by `tail`.
+fn gen_named_extraction(fields: &[Field], constructor: &str) -> String {
+    let mut out = String::new();
+    let mut inits = Vec::new();
+    for f in fields {
+        let fname = f.name.as_deref().expect("named field");
+        let deser = de_field_expr("__serde_val", &f.ty, &f.attrs);
+        let missing = if type_is_option(&f.ty) && f.attrs.with.is_none() {
+            "::core::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(\
+                 \"missing field `{fname}`\"))"
+            )
+        };
+        out.push_str(&format!(
+            "let __serde_{fname} = match __serde_entries.iter()\
+             .position(|(__serde_k, _)| __serde_k == \"{fname}\") {{\n\
+                 ::core::option::Option::Some(__serde_i) => {{\n\
+                     let __serde_val = __serde_entries.remove(__serde_i).1;\n\
+                     {deser}\n\
+                 }}\n\
+                 ::core::option::Option::None => {{ {missing} }}\n\
+             }};\n"
+        ));
+        inits.push(format!("{fname}: __serde_{fname}"));
+    }
+    out.push_str(&format!(
+        "::core::result::Result::Ok({constructor} {{ {} }})",
+        inits.join(", ")
+    ));
+    out
+}
+
+fn gen_deserialize_struct(input: &Input, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            "let _ = deserializer.into_value()?; ::core::result::Result::Ok(Self)".to_string()
+        }
+        Fields::Tuple(fs) if fs.len() == 1 || input.attrs.transparent => {
+            let deser = match &fs[0].attrs.with {
+                Some(module) => format!(
+                    "{module}::deserialize(deserializer)?"
+                ),
+                None => format!(
+                    "<{} as ::serde::Deserialize<'de>>::deserialize(deserializer)?",
+                    fs[0].ty
+                ),
+            };
+            format!("::core::result::Result::Ok(Self({deser}))")
+        }
+        Fields::Named(fs) if input.attrs.transparent && fs.len() == 1 => {
+            let fname = fs[0].name.as_deref().expect("named field");
+            let deser = format!(
+                "<{} as ::serde::Deserialize<'de>>::deserialize(deserializer)?",
+                fs[0].ty
+            );
+            format!("::core::result::Result::Ok(Self {{ {fname}: {deser} }})")
+        }
+        Fields::Tuple(fs) => {
+            let mut out = String::from(
+                "let __serde_v = ::serde::Deserializer::into_value(deserializer)?;\n\
+                 let __serde_items = __serde_v.into_array().map_err(|__serde_k| \
+                 <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                 \"expected array, found {}\", __serde_k)))?;\n",
+            );
+            out.push_str(&format!(
+                "if __serde_items.len() != {} {{\n\
+                     return ::core::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(\"tuple length mismatch\"));\n\
+                 }}\n\
+                 let mut __serde_iter = __serde_items.into_iter();\n",
+                fs.len()
+            ));
+            let mut inits = Vec::new();
+            for (i, f) in fs.iter().enumerate() {
+                let deser = de_field_expr(
+                    "__serde_iter.next().expect(\"length checked\")",
+                    &f.ty,
+                    &f.attrs,
+                );
+                out.push_str(&format!("let __serde_f{i} = {deser};\n"));
+                inits.push(format!("__serde_f{i}"));
+            }
+            out.push_str(&format!(
+                "::core::result::Result::Ok(Self({}))",
+                inits.join(", ")
+            ));
+            out
+        }
+        Fields::Named(fs) => {
+            let mut out = String::from(
+                "let __serde_v = ::serde::Deserializer::into_value(deserializer)?;\n\
+                 let mut __serde_entries = __serde_v.into_object().map_err(|__serde_k| \
+                 <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                 \"expected object, found {}\", __serde_k)))?;\n",
+            );
+            out.push_str(&gen_named_extraction(fs, "Self"));
+            out
+        }
+    }
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for v in variants {
+        if matches!(v.fields, Fields::Unit) {
+            let vname = &v.name;
+            unit_arms.push_str(&format!(
+                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+            ));
+        }
+    }
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {}
+            Fields::Tuple(fs) if fs.len() == 1 => {
+                let deser = de_field_expr("__serde_val", &fs[0].ty, &fs[0].attrs);
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         ::core::result::Result::Ok({name}::{vname}({deser}))\n\
+                     }}\n"
+                ));
+            }
+            Fields::Tuple(fs) => {
+                let mut body = String::from(
+                    "let __serde_items = __serde_val.into_array().map_err(|__serde_k| \
+                     <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"expected array, found {}\", __serde_k)))?;\n\
+                     let mut __serde_iter = __serde_items.into_iter();\n",
+                );
+                let mut inits = Vec::new();
+                for (i, f) in fs.iter().enumerate() {
+                    let deser = de_field_expr(
+                        "__serde_iter.next().ok_or_else(|| \
+                         <D::Error as ::serde::de::Error>::custom(\"tuple variant too short\"))?",
+                        &f.ty,
+                        &f.attrs,
+                    );
+                    body.push_str(&format!("let __serde_f{i} = {deser};\n"));
+                    inits.push(format!("__serde_f{i}"));
+                }
+                body.push_str(&format!(
+                    "::core::result::Result::Ok({name}::{vname}({}))",
+                    inits.join(", ")
+                ));
+                tagged_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
+            }
+            Fields::Named(fs) => {
+                let mut body = String::from(
+                    "let mut __serde_entries = __serde_val.into_object().map_err(|__serde_k| \
+                     <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"expected object, found {}\", __serde_k)))?;\n",
+                );
+                body.push_str(&gen_named_extraction(fs, &format!("{name}::{vname}")));
+                tagged_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
+            }
+        }
+    }
+    format!(
+        "let __serde_v = ::serde::Deserializer::into_value(deserializer)?;\n\
+         match __serde_v {{\n\
+             ::serde::Value::String(__serde_s) => match __serde_s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __serde_other => ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __serde_other))),\n\
+             }},\n\
+             ::serde::Value::Object(mut __serde_entries) => {{\n\
+                 if __serde_entries.len() != 1 {{\n\
+                     return ::core::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(\
+                     \"expected single-key object for enum variant\"));\n\
+                 }}\n\
+                 let (__serde_key, __serde_val) = __serde_entries.remove(0);\n\
+                 match __serde_key.as_str() {{\n\
+                     {tagged_arms}\n\
+                     __serde_other => ::core::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __serde_other))),\n\
+                 }}\n\
+             }}\n\
+             __serde_other => ::core::result::Result::Err(\
+             <D::Error as ::serde::de::Error>::custom(::std::format!(\
+             \"expected string or object for enum {name}, found {{}}\", \
+             __serde_other.kind()))),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return error_stream(&e),
+    };
+    gen_serialize(&parsed).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return error_stream(&e),
+    };
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl must parse")
+}
+
+fn error_stream(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error stream must parse")
+}
