@@ -1,0 +1,91 @@
+//! Before/after benchmark for the parallel sweep executor: times one
+//! sequential full-suite sweep, then the same suite prefetched on 2, 4,
+//! and 8 worker threads (fresh harness each, so nothing is served from
+//! a warm cache), and writes the measurements to `BENCH_sweep.json`.
+//!
+//! Speedup scales with the cores the host actually grants; the JSON
+//! records `available_parallelism` alongside each run so a 1.0x result
+//! on a single-core container reads as what it is.
+//!
+//! Usage (a plain `main` target, not a criterion harness):
+//!
+//! ```text
+//! cargo bench -p dstage-bench --bench sweep -- [--cases N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use dstage_sim::experiments;
+use dstage_sim::runner::Harness;
+use dstage_workload::GeneratorConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepRun {
+    threads: usize,
+    secs: f64,
+    speedup_vs_sequential: f64,
+}
+
+#[derive(Serialize)]
+struct SweepBench {
+    cases: usize,
+    generator: &'static str,
+    available_parallelism: usize,
+    sequential_secs: f64,
+    runs: Vec<SweepRun>,
+}
+
+fn full_suite(harness: &Harness) -> usize {
+    experiments::all(harness).iter().map(|r| r.to_text().len()).sum()
+}
+
+fn main() {
+    let mut cases = 40usize;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                cases = args.next().and_then(|v| v.parse().ok()).expect("--cases N");
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            // cargo bench passes --bench (and test-harness flags); ignore.
+            _ => {}
+        }
+    }
+
+    let available = dstage_sim::available_threads();
+    println!("[sweep] full suite, paper generator, {cases} cases, {available} cores available");
+
+    let started = Instant::now();
+    let rendered = full_suite(&Harness::new(&GeneratorConfig::paper(), cases));
+    let sequential_secs = started.elapsed().as_secs_f64();
+    println!("[sweep] sequential: {sequential_secs:.2}s ({rendered} report bytes)");
+
+    let mut runs = Vec::new();
+    for threads in [2usize, 4, 8] {
+        let harness = Harness::new(&GeneratorConfig::paper(), cases);
+        let started = Instant::now();
+        experiments::all_parallel(&harness, threads);
+        let secs = started.elapsed().as_secs_f64();
+        let speedup = sequential_secs / secs.max(1e-9);
+        println!("[sweep] {threads} threads: {secs:.2}s ({speedup:.2}x)");
+        runs.push(SweepRun { threads, secs, speedup_vs_sequential: speedup });
+    }
+
+    let report = SweepBench {
+        cases,
+        generator: "paper",
+        available_parallelism: available,
+        sequential_secs,
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    let path = std::path::Path::new(&out);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create bench report directory");
+    }
+    std::fs::write(path, json).expect("write bench report");
+    println!("[sweep] wrote {out}");
+}

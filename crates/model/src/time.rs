@@ -114,6 +114,16 @@ impl SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
 
+    /// Adds a duration, returning `None` on overflow.
+    ///
+    /// Use this when the sum feeds an upper-bound comparison: saturating
+    /// to [`SimTime::MAX`] there would make an unrepresentably late
+    /// instant pass a `<= limit` test against an open-ended limit.
+    #[must_use]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+
     /// Returns the later of two instants.
     #[must_use]
     pub fn max(self, other: SimTime) -> SimTime {
@@ -327,6 +337,19 @@ mod tests {
         assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
         let t = SimTime::from_secs(1).saturating_add(SimDuration::from_secs(2));
         assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(SimTime::MAX.checked_add(SimDuration::from_millis(1)), None);
+        assert_eq!(
+            SimTime::from_millis(u64::MAX - 5).checked_add(SimDuration::from_millis(5)),
+            Some(SimTime::MAX)
+        );
+        assert_eq!(
+            SimTime::from_secs(1).checked_add(SimDuration::from_secs(2)),
+            Some(SimTime::from_secs(3))
+        );
     }
 
     #[test]

@@ -145,8 +145,12 @@ impl BusyIntervals {
         limit: SimTime,
     ) -> Option<SimTime> {
         let mut candidate = ready;
+        // Checked, not saturating: a saturated end would equal
+        // `SimTime::MAX` and falsely pass `end <= limit` for an
+        // open-ended limit, reporting a fit for a transfer whose true end
+        // is beyond the representable horizon.
         let fits = |start: SimTime| -> Option<SimTime> {
-            let end = start.saturating_add(duration);
+            let end = start.checked_add(duration)?;
             (end <= limit).then_some(end)
         };
         if duration.is_zero() {
@@ -313,6 +317,32 @@ mod tests {
         assert_eq!(b.earliest_gap(t(12), d(5), t(25)), Some(t(20)));
         // Limit earlier than ready.
         assert_eq!(b.earliest_gap(t(30), d(1), t(20)), None);
+    }
+
+    #[test]
+    fn earliest_gap_rejects_overflowing_end() {
+        // Regression: `end = start.saturating_add(duration)` used to
+        // saturate to `SimTime::MAX`, so `end <= limit` passed for
+        // `limit == SimTime::MAX` and an un-schedulable transfer was
+        // reported as fitting.
+        let b = BusyIntervals::new();
+        let ready = SimTime::from_millis(u64::MAX - 10);
+        assert_eq!(b.earliest_gap(ready, SimDuration::from_millis(100), SimTime::MAX), None);
+        // Same overflow with a busy span forcing a late candidate.
+        let mut busy = BusyIntervals::new();
+        busy.reserve(SimTime::from_millis(u64::MAX - 20), SimTime::from_millis(u64::MAX - 5))
+            .unwrap();
+        assert_eq!(
+            busy.earliest_gap(
+                SimTime::from_millis(u64::MAX - 15),
+                SimDuration::from_millis(100),
+                SimTime::MAX
+            ),
+            None
+        );
+        // An end landing exactly on `SimTime::MAX` is not an overflow and
+        // still fits.
+        assert_eq!(b.earliest_gap(ready, SimDuration::from_millis(10), SimTime::MAX), Some(ready));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::protocol::{response_line, ClientRequest, ErrorResponse};
 
 /// Upper bucket bounds of the service-latency histogram, in microseconds.
 /// A final unbounded bucket catches everything above the last bound.
-const BUCKET_BOUNDS_US: [u64; 14] = [
+pub const BUCKET_BOUNDS_US: [u64; 14] = [
     50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
     1_000_000,
 ];
@@ -64,14 +64,38 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Mean recorded latency in microseconds, rounded to the nearest
+    /// integer (half up); `0` when nothing has been recorded.
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Round instead of truncating: `sum / count` floors, which
+        // under-reports by up to a microsecond and (worse) reports
+        // `mean == 0` for any all-sub-microsecond-rounded sample mix
+        // like [0, 1, 1] where the nearest integer is 1.
+        (self.sum_us + self.count / 2) / self.count
+    }
+
     /// Upper bound (µs) of the bucket containing the `p`-quantile;
     /// the exact maximum for observations in the unbounded bucket.
+    ///
+    /// `p` is the fraction of observations covered, in `(0, 1]`:
+    /// `percentile_us(1.0)` covers everything. Out-of-range `p` is
+    /// clamped — `p <= 0` behaves like the smallest positive quantile
+    /// (rank 1, the bucket of the minimum observation; a true 0-quantile
+    /// covers no observations and has no defined bucket), `p > 1`
+    /// behaves like `1.0`.
     #[must_use]
     pub fn percentile_us(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // NaN-safe: a NaN product fails the `>=` test and falls through
+        // to rank 1, matching the p <= 0 clamp.
+        let product = p * self.count as f64;
+        let rank = if product >= 1.0 { (product.ceil() as u64).min(self.count) } else { 1 };
         let mut seen = 0;
         for (bucket, &n) in self.counts.iter().enumerate() {
             seen += n;
@@ -99,10 +123,9 @@ impl LatencyHistogram {
                 })
                 .collect(),
         );
-        let mean = self.sum_us.checked_div(self.count).unwrap_or(0);
         Value::Object(vec![
             ("count".to_string(), Value::UInt(self.count)),
-            ("mean_us".to_string(), Value::UInt(mean)),
+            ("mean_us".to_string(), Value::UInt(self.mean_us())),
             ("p50_us".to_string(), Value::UInt(self.percentile_us(0.50))),
             ("p90_us".to_string(), Value::UInt(self.percentile_us(0.90))),
             ("p99_us".to_string(), Value::UInt(self.percentile_us(0.99))),
@@ -334,6 +357,42 @@ mod tests {
     fn empty_histogram_reports_zeros() {
         let h = LatencyHistogram::new();
         assert_eq!(h.percentile_us(0.5), 0);
+        assert_eq!(h.percentile_us(0.0), 0);
+        assert_eq!(h.mean_us(), 0);
         assert_eq!(h.to_value().get("mean_us").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest_microsecond() {
+        // Regression: integer division truncated, so [0, 1, 1] reported a
+        // mean of 0µs instead of the nearest integer 1µs.
+        let mut h = LatencyHistogram::new();
+        for micros in [0, 1, 1] {
+            h.record(micros);
+        }
+        assert_eq!(h.mean_us(), 1);
+        assert_eq!(h.to_value().get("mean_us").and_then(Value::as_u64), Some(1));
+        // Rounds down below the halfway point: mean(1, 2, 3, 5) = 2.75 → 3,
+        // mean(1, 1, 2, 5) = 2.25 → 2.
+        let mut h = LatencyHistogram::new();
+        for micros in [1, 1, 2, 5] {
+            h.record(micros);
+        }
+        assert_eq!(h.mean_us(), 2);
+    }
+
+    #[test]
+    fn percentile_edge_quantiles_are_defined() {
+        let mut h = LatencyHistogram::new();
+        for micros in [10, 600, 2_000_000] {
+            h.record(micros);
+        }
+        // p <= 0 clamps to rank 1: the minimum observation's bucket.
+        assert_eq!(h.percentile_us(0.0), 50);
+        assert_eq!(h.percentile_us(-1.0), 50);
+        assert_eq!(h.percentile_us(f64::NAN), 50);
+        // p >= 1 covers everything, including the unbounded bucket.
+        assert_eq!(h.percentile_us(1.0), 2_000_000);
+        assert_eq!(h.percentile_us(7.5), 2_000_000);
     }
 }

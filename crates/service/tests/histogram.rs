@@ -1,0 +1,97 @@
+//! Property tests for `LatencyHistogram`: every statistic it reports
+//! must agree with a naive reference computed straight from the raw
+//! sample set, across random samples and quantiles — including the
+//! edge quantiles (`p = 0`, `p = 1`) and the truncation-prone mean.
+
+use dstage_service::server::{LatencyHistogram, BUCKET_BOUNDS_US};
+use proptest::prelude::*;
+
+/// The bucket bound the histogram can resolve one raw observation to:
+/// the smallest configured bound at or above it, or — for observations
+/// in the unbounded overflow bucket — the maximum recorded observation.
+fn reference_bound(sample: u64, samples: &[u64]) -> u64 {
+    BUCKET_BOUNDS_US
+        .iter()
+        .copied()
+        .find(|&bound| sample <= bound)
+        .unwrap_or_else(|| samples.iter().copied().max().expect("non-empty"))
+}
+
+/// Rank-based reference quantile over the raw samples, mirroring the
+/// histogram's contract: rank `max(1, ceil(p·n))` clamped to `n`, then
+/// mapped to the bucket bound that observation falls in.
+fn reference_percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let product = p * n as f64;
+    let rank = if product >= 1.0 { (product.ceil() as u64).min(n) } else { 1 };
+    reference_bound(sorted[(rank - 1) as usize], samples)
+}
+
+/// Mean of the raw samples, rounded half-up to the nearest microsecond.
+fn reference_mean(samples: &[u64]) -> u64 {
+    let n = samples.len() as u64;
+    (samples.iter().sum::<u64>() + n / 2) / n
+}
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn percentiles_match_naive_reference(
+        samples in prop::collection::vec(0u64..3_000_000, 1..200),
+        p_milli in 0u64..=1_000,
+    ) {
+        let h = histogram_of(&samples);
+        let p = p_milli as f64 / 1_000.0;
+        prop_assert_eq!(
+            h.percentile_us(p),
+            reference_percentile(&samples, p),
+            "p = {} over {:?}", p, samples
+        );
+    }
+
+    #[test]
+    fn edge_quantiles_match_naive_reference(
+        samples in prop::collection::vec(0u64..3_000_000, 1..100),
+    ) {
+        let h = histogram_of(&samples);
+        // p = 0 clamps to rank 1 (the minimum observation's bucket).
+        prop_assert_eq!(h.percentile_us(0.0), reference_percentile(&samples, 0.0));
+        // p = 1 covers every observation.
+        prop_assert_eq!(h.percentile_us(1.0), reference_percentile(&samples, 1.0));
+        // The covering quantile of the overflow bucket is the exact max.
+        let max = samples.iter().copied().max().expect("non-empty");
+        if max > *BUCKET_BOUNDS_US.last().expect("non-empty bounds") {
+            prop_assert_eq!(h.percentile_us(1.0), max);
+        }
+    }
+
+    #[test]
+    fn mean_matches_naive_rounded_reference(
+        samples in prop::collection::vec(0u64..3_000_000, 1..200),
+    ) {
+        let h = histogram_of(&samples);
+        prop_assert_eq!(h.mean_us(), reference_mean(&samples), "samples {:?}", samples);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(
+        samples in prop::collection::vec(0u64..3_000_000, 1..100),
+        a_milli in 0u64..=1_000,
+        b_milli in 0u64..=1_000,
+    ) {
+        let h = histogram_of(&samples);
+        let (lo, hi) = if a_milli <= b_milli { (a_milli, b_milli) } else { (b_milli, a_milli) };
+        prop_assert!(
+            h.percentile_us(lo as f64 / 1_000.0) <= h.percentile_us(hi as f64 / 1_000.0)
+        );
+    }
+}

@@ -11,6 +11,9 @@
 //!   --small       use the scaled-down generator config (fast smoke run)
 //!   --out DIR     write <experiment>.txt and CSV series to DIR
 //!                 (default: results/)
+//!   --threads N   worker threads for the sweep (default: DSTAGE_THREADS,
+//!                 then the machine's available parallelism); results are
+//!                 byte-identical for every thread count
 //!   --quiet       suppress progress logging
 //! ```
 
@@ -26,6 +29,7 @@ struct Options {
     cases: usize,
     small: bool,
     out: PathBuf,
+    threads: Option<usize>,
     quiet: bool,
     experiments: Vec<String>,
 }
@@ -35,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         cases: 40,
         small: false,
         out: PathBuf::from("results"),
+        threads: None,
         quiet: false,
         experiments: Vec::new(),
     };
@@ -47,6 +52,11 @@ fn parse_args() -> Result<Options, String> {
                     value.parse().map_err(|_| format!("invalid case count {value:?}"))?;
             }
             "--small" => options.small = true,
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a number")?;
+                options.threads =
+                    Some(value.parse().map_err(|_| format!("invalid thread count {value:?}"))?);
+            }
             "--out" => {
                 options.out = PathBuf::from(args.next().ok_or("--out needs a directory")?);
             }
@@ -116,7 +126,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: figures [--cases N] [--small] [--out DIR] [--quiet] \
+                "usage: figures [--cases N] [--small] [--out DIR] [--threads N] [--quiet] \
                  [fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions fault-tolerance congestion | all]"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
@@ -126,14 +136,28 @@ fn main() -> ExitCode {
     let config = if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
     let mut harness = Harness::new(&config, options.cases);
     harness.set_verbose(!options.quiet);
+    let threads = dstage_sim::executor::resolve_threads(options.threads);
     if !options.quiet {
         eprintln!(
-            "[figures] {} cases at {} scale -> {}",
+            "[figures] {} cases at {} scale on {} threads -> {}",
             options.cases,
             if options.small { "small" } else { "paper" },
+            threads,
             options.out.display()
         );
     }
+
+    // Fan the harness-backed sweep work out before rendering; reports are
+    // byte-identical to a sequential run (see dstage_sim::executor).
+    let mut units = Vec::new();
+    let mut bound_weightings = Vec::new();
+    for name in &options.experiments {
+        if let Some((u, b)) = experiments::work_units(name) {
+            units.extend(u);
+            bound_weightings.extend(b);
+        }
+    }
+    harness.prefetch(&units, &bound_weightings, threads);
 
     if let Err(e) = std::fs::create_dir_all(&options.out) {
         eprintln!("error: cannot create {}: {e}", options.out.display());

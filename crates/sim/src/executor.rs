@@ -1,0 +1,172 @@
+//! Deterministic parallel execution of sweep work units.
+//!
+//! The paper's evaluation is embarrassingly parallel: every
+//! (scheduler × weighting × case) unit is a pure function of the scenario
+//! and its configuration (baseline PRNG streams are keyed per *case*, not
+//! per thread), so fanning units out over a worker pool and merging the
+//! results in stable unit order reproduces the sequential output byte for
+//! byte. This module provides the worker pool ([`run_indexed`]) and the
+//! thread-count policy ([`resolve_threads`]): an explicit flag beats the
+//! `DSTAGE_THREADS` environment variable, which beats the machine's
+//! available parallelism.
+
+use crossbeam::{channel, thread};
+use parking_lot::Mutex;
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV_VAR: &str = "DSTAGE_THREADS";
+
+/// The machine's available parallelism (1 when it cannot be queried).
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Resolves the worker-thread count for a sweep.
+///
+/// Precedence: an explicit `flag` (e.g. `--threads` on a binary), then
+/// the `DSTAGE_THREADS` environment variable, then
+/// [`available_threads`]. Zero or unparsable values fall through to the
+/// next source.
+#[must_use]
+pub fn resolve_threads(flag: Option<usize>) -> usize {
+    if let Some(n) = flag.filter(|&n| n > 0) {
+        return n;
+    }
+    if let Some(n) = std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    available_threads()
+}
+
+/// Applies `work` to every index in `0..n_units` across `threads` workers
+/// and returns the results **in index order**, regardless of which worker
+/// computed which unit or in what order they finished.
+///
+/// `work` must be a pure function of the index for the output to be
+/// deterministic; the pool only guarantees a stable merge.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the remaining workers are joined
+/// first).
+#[must_use]
+pub fn run_indexed<T, F>(n_units: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_units == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n_units);
+    if workers == 1 {
+        return (0..n_units).map(work).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n_units);
+    slots.resize_with(n_units, || None);
+    let slots = Mutex::new(slots);
+    let (sender, receiver) = channel::unbounded::<usize>();
+    for i in 0..n_units {
+        sender.send(i).expect("receiver alive until scope end");
+    }
+    drop(sender);
+
+    let outcome = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let receiver = receiver.clone();
+                let slots = &slots;
+                let work = &work;
+                scope.spawn(move || {
+                    while let Ok(i) = receiver.recv() {
+                        let result = work(i);
+                        slots.lock()[i] = Some(result);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    if let Err(payload) = outcome {
+        std::panic::resume_unwind(payload);
+    }
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every unit was drained from the queue"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let squares = run_indexed(100, 8, |i| i * i);
+        assert_eq!(squares.len(), 100);
+        for (i, sq) in squares.iter().enumerate() {
+            assert_eq!(*sq, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let work = |i: usize| format!("unit-{i}:{}", (i as u64).wrapping_mul(0x9E37_79B9));
+        let sequential = run_indexed(37, 1, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_indexed(37, threads, work), sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_indexed(50, 4, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(results, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_units_is_fine() {
+        let none: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_units_is_fine() {
+        assert_eq!(run_indexed(2, 64, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit 3 exploded")]
+    fn worker_panics_propagate() {
+        let _ = run_indexed(8, 4, |i| {
+            assert!(i != 3, "unit 3 exploded");
+            i
+        });
+    }
+
+    #[test]
+    fn explicit_flag_wins_thread_resolution() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        // Zero falls through to the environment / machine default.
+        assert!(resolve_threads(Some(0)) >= 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

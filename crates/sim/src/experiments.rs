@@ -599,6 +599,114 @@ pub fn all(harness: &Harness) -> Vec<ExperimentReport> {
     ]
 }
 
+/// An experiment's prefetch set: the (scheduler, weighting) result
+/// series it will request from the harness, plus the weightings whose
+/// bounds it reads — the input for [`Harness::prefetch`].
+pub type PrefetchSet = (Vec<(SchedulerKind, Weighting)>, Vec<Weighting>);
+
+/// The prefetch set of one experiment.
+///
+/// Returns `None` for unknown ids and for the experiments that run their
+/// own scaled generators instead of the shared harness
+/// (`fault_tolerance`, `congestion`).
+#[must_use]
+pub fn work_units(id: &str) -> Option<PrefetchSet> {
+    let w = Weighting::W1_10_100;
+    let sweep = |h: Heuristic, c: CostCriterion, weighting: Weighting| {
+        EuRatioPoint::PAPER_SWEEP
+            .iter()
+            .map(move |&p| (SchedulerKind::Pairing(h, c, p), weighting))
+            .collect::<Vec<_>>()
+    };
+    let all_criteria_sweeps =
+        |h: Heuristic| h.criteria().iter().flat_map(|&c| sweep(h, c, w)).collect::<Vec<_>>();
+    match id {
+        "fig2" => {
+            let mut units =
+                vec![(SchedulerKind::SingleDijkstraRandom, w), (SchedulerKind::RandomDijkstra, w)];
+            for h in Heuristic::ALL {
+                units.extend(sweep(h, CostCriterion::C4, w));
+            }
+            Some((units, vec![w]))
+        }
+        "fig3" => Some((all_criteria_sweeps(Heuristic::PartialPath), vec![])),
+        "fig4" => Some((all_criteria_sweeps(Heuristic::FullPathOneDestination), vec![])),
+        "fig5" => Some((all_criteria_sweeps(Heuristic::FullPathAllDestinations), vec![])),
+        "weights" => {
+            // `best_point` scans the C4 sweep under both weightings.
+            let mut units = Vec::new();
+            for h in Heuristic::ALL {
+                for weighting in Weighting::ALL {
+                    units.extend(sweep(h, CostCriterion::C4, weighting));
+                }
+            }
+            Some((units, vec![]))
+        }
+        "prio_first" | "prio-first" => {
+            let mut units = vec![(SchedulerKind::PriorityFirst, w)];
+            for h in Heuristic::ALL {
+                units.extend(all_criteria_sweeps(h));
+            }
+            Some((units, vec![]))
+        }
+        "minmax" => {
+            let mut units = Vec::new();
+            for h in Heuristic::ALL {
+                units.extend(sweep(h, CostCriterion::C4, w));
+            }
+            Some((units, vec![]))
+        }
+        "exec" => {
+            let point = EuRatioPoint::Log10(0);
+            let units = Heuristic::ALL
+                .iter()
+                .flat_map(|&h| {
+                    h.criteria()
+                        .iter()
+                        .map(move |&c| (SchedulerKind::Pairing(h, c, point), w))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            Some((units, vec![]))
+        }
+        "extensions" => {
+            let point = EuRatioPoint::Log10(0);
+            let mut units = Vec::new();
+            for h in Heuristic::ALL {
+                units.push((SchedulerKind::Pairing(h, CostCriterion::C3, point), w));
+                units.push((SchedulerKind::Pairing(h, CostCriterion::C3Floor, point), w));
+                units.extend(sweep(h, CostCriterion::C4, w));
+            }
+            Some((units, vec![]))
+        }
+        _ => None,
+    }
+}
+
+/// The prefetch set of the full [`all`] suite.
+#[must_use]
+pub fn all_work_units() -> PrefetchSet {
+    let mut units = Vec::new();
+    let mut bounds = Vec::new();
+    for id in ["fig2", "fig3", "fig4", "fig5", "weights", "prio_first", "minmax", "exec"] {
+        let (u, b) = work_units(id).expect("known experiment id");
+        units.extend(u);
+        bounds.extend(b);
+    }
+    (units, bounds)
+}
+
+/// Runs every experiment in paper order, computing the underlying sweep
+/// on `threads` worker threads first. The rendered reports are
+/// byte-identical to [`all`]'s: the parallel phase only populates the
+/// harness caches (in stable work-unit order), and rendering then reads
+/// them sequentially.
+pub fn all_parallel(harness: &Harness, threads: usize) -> Vec<ExperimentReport> {
+    let (units, bounds) = all_work_units();
+    harness.prefetch(&units, &bounds, threads);
+    all(harness)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

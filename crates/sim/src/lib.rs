@@ -6,7 +6,10 @@
 //! `log10 ∈ {−3 … 5}` plus both extremes, under two priority weightings.
 //! [`runner::Harness`] owns the generated cases and caches every
 //! (scheduler × weighting × E-U point) result; the [`experiments`] module
-//! renders each paper artifact from those cached series.
+//! renders each paper artifact from those cached series. The
+//! [`executor`] module fans the sweep's work units out over a
+//! deterministic worker pool (`--threads` / `DSTAGE_THREADS`); a
+//! parallel sweep renders reports byte-identical to a sequential one.
 //!
 //! # Examples
 //!
@@ -28,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod stats;
 pub mod sweep;
 
+pub use executor::{available_threads, resolve_threads, THREADS_ENV_VAR};
 pub use experiments::ExperimentReport;
 pub use runner::{Harness, SchedulerKind, Weighting};
 pub use stats::Stats;

@@ -18,6 +18,7 @@ use dstage_model::request::PriorityWeights;
 use dstage_model::scenario::Scenario;
 use dstage_workload::{generate, GeneratorConfig};
 
+use crate::executor::run_indexed;
 use crate::sweep::EuRatioPoint;
 
 /// Which priority weighting a run scores (and schedules) under.
@@ -142,36 +143,143 @@ impl Harness {
             eprintln!("[harness] running {:?} under {} ...", key.0, weighting.label());
         }
         let weights = weighting.weights();
-        let results: Vec<CaseResult> = self
-            .cases
-            .iter()
-            .enumerate()
-            .map(|(i, scenario)| {
-                let outcome = match key.0 {
-                    SchedulerKind::Pairing(h, c, point) => {
-                        let config = HeuristicConfig {
-                            criterion: c,
-                            eu: point.weights(),
-                            priority_weights: weights.clone(),
-                            caching: true,
-                        };
-                        run(scenario, h, &config)
-                    }
-                    SchedulerKind::SingleDijkstraRandom => {
-                        single_dijkstra_random(scenario, i as u64)
-                    }
-                    SchedulerKind::RandomDijkstra => random_dijkstra(scenario, i as u64),
-                    SchedulerKind::PriorityFirst => priority_first(scenario, &weights),
+        let results: Vec<CaseResult> =
+            (0..self.cases.len()).map(|i| self.case_result(key.0, &weights, i)).collect();
+        // First insert wins: if another thread raced us to the same key,
+        // keep (and return) its series so every caller shares one
+        // allocation and cached re-reads stay pointer-stable.
+        Arc::clone(self.cache.lock().entry(key).or_insert_with(|| Arc::new(results)))
+    }
+
+    /// One scheduler on one case. `kind` must already be normalized; the
+    /// PRNG stream of the random baselines is keyed by the case index, so
+    /// the outcome is a pure function of `(kind, weights, case)` no
+    /// matter which thread computes it.
+    fn case_result(&self, kind: SchedulerKind, weights: &PriorityWeights, i: usize) -> CaseResult {
+        let scenario = &self.cases[i];
+        let outcome = match kind {
+            SchedulerKind::Pairing(h, c, point) => {
+                let config = HeuristicConfig {
+                    criterion: c,
+                    eu: point.weights(),
+                    priority_weights: weights.clone(),
+                    caching: true,
                 };
-                CaseResult {
-                    evaluation: outcome.schedule.evaluate(scenario, &weights),
-                    metrics: outcome.metrics,
+                run(scenario, h, &config)
+            }
+            SchedulerKind::SingleDijkstraRandom => single_dijkstra_random(scenario, i as u64),
+            SchedulerKind::RandomDijkstra => random_dijkstra(scenario, i as u64),
+            SchedulerKind::PriorityFirst => priority_first(scenario, weights),
+        };
+        CaseResult {
+            evaluation: outcome.schedule.evaluate(scenario, weights),
+            metrics: outcome.metrics,
+        }
+    }
+
+    /// The bounds of one case under a weighting.
+    fn case_bounds(&self, weights: &PriorityWeights, i: usize) -> CaseBounds {
+        let scenario = &self.cases[i];
+        CaseBounds {
+            upper_bound: upper_bound(scenario, weights),
+            possible_satisfy: possible_satisfy(scenario, weights).weighted_sum,
+        }
+    }
+
+    /// Computes a batch of result series (and per-weighting bounds) in
+    /// parallel on `threads` workers, populating the same caches that
+    /// [`Harness::results`] / [`Harness::bounds`] read.
+    ///
+    /// Work fans out at (scheduler × weighting × case) granularity and is
+    /// merged back in stable (unit, case) order, so a subsequent
+    /// sequential report render is **byte-identical** to one computed
+    /// without this call: per-case outcomes are pure functions of their
+    /// unit, and cache lookups are keyed, never iterated.
+    pub fn prefetch(
+        &self,
+        kinds: &[(SchedulerKind, Weighting)],
+        bound_weightings: &[Weighting],
+        threads: usize,
+    ) {
+        // Dedup to normalized, uncached keys, keeping first-seen order.
+        let mut pending_keys: Vec<(SchedulerKind, Weighting)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            for &(kind, weighting) in kinds {
+                let key = (Self::normalize(kind), weighting);
+                if !cache.contains_key(&key) && !pending_keys.contains(&key) {
+                    pending_keys.push(key);
                 }
-            })
-            .collect();
-        let shared = Arc::new(results);
-        self.cache.lock().insert(key, Arc::clone(&shared));
-        shared
+            }
+        }
+        let mut pending_bounds: Vec<Weighting> = Vec::new();
+        {
+            let cache = self.bounds_cache.lock();
+            for &weighting in bound_weightings {
+                if !cache.contains_key(&weighting) && !pending_bounds.contains(&weighting) {
+                    pending_bounds.push(weighting);
+                }
+            }
+        }
+        let n_cases = self.cases.len();
+        if n_cases == 0 || (pending_keys.is_empty() && pending_bounds.is_empty()) {
+            return;
+        }
+        if self.verbose {
+            eprintln!(
+                "[harness] prefetching {} series + {} bound sets over {} cases on {} threads ...",
+                pending_keys.len(),
+                pending_bounds.len(),
+                n_cases,
+                threads
+            );
+        }
+
+        enum Unit {
+            Result(CaseResult),
+            Bounds(CaseBounds),
+        }
+        let n_result_units = pending_keys.len() * n_cases;
+        let n_units = n_result_units + pending_bounds.len() * n_cases;
+        let outputs = run_indexed(n_units, threads, |u| {
+            if u < n_result_units {
+                let (kind, weighting) = pending_keys[u / n_cases];
+                Unit::Result(self.case_result(kind, &weighting.weights(), u % n_cases))
+            } else {
+                let b = u - n_result_units;
+                let weighting = pending_bounds[b / n_cases];
+                Unit::Bounds(self.case_bounds(&weighting.weights(), b % n_cases))
+            }
+        });
+
+        // Stable merge: outputs arrive in unit order, i.e. grouped by key
+        // with cases ascending within each group.
+        let mut outputs = outputs.into_iter();
+        let mut cache = self.cache.lock();
+        for &key in &pending_keys {
+            let series: Vec<CaseResult> = outputs
+                .by_ref()
+                .take(n_cases)
+                .map(|u| match u {
+                    Unit::Result(r) => r,
+                    Unit::Bounds(_) => unreachable!("result units precede bound units"),
+                })
+                .collect();
+            cache.entry(key).or_insert_with(|| Arc::new(series));
+        }
+        drop(cache);
+        let mut bounds_cache = self.bounds_cache.lock();
+        for &weighting in &pending_bounds {
+            let series: Vec<CaseBounds> = outputs
+                .by_ref()
+                .take(n_cases)
+                .map(|u| match u {
+                    Unit::Bounds(b) => b,
+                    Unit::Result(_) => unreachable!("bound units follow result units"),
+                })
+                .collect();
+            bounds_cache.entry(weighting).or_insert_with(|| Arc::new(series));
+        }
     }
 
     /// The per-case upper bounds under a weighting.
@@ -183,17 +291,10 @@ impl Harness {
             eprintln!("[harness] computing bounds under {} ...", weighting.label());
         }
         let weights = weighting.weights();
-        let bounds: Vec<CaseBounds> = self
-            .cases
-            .iter()
-            .map(|scenario| CaseBounds {
-                upper_bound: upper_bound(scenario, &weights),
-                possible_satisfy: possible_satisfy(scenario, &weights).weighted_sum,
-            })
-            .collect();
-        let shared = Arc::new(bounds);
-        self.bounds_cache.lock().insert(weighting, Arc::clone(&shared));
-        shared
+        let bounds: Vec<CaseBounds> =
+            (0..self.cases.len()).map(|i| self.case_bounds(&weights, i)).collect();
+        // First insert wins, as in `results`.
+        Arc::clone(self.bounds_cache.lock().entry(weighting).or_insert_with(|| Arc::new(bounds)))
     }
 
     /// Mean weighted sum of a scheduler across the cases (the y-value of

@@ -1,7 +1,67 @@
-//! In-tree stand-in for `crossbeam` covering the channel surface this
-//! workspace uses: multi-producer **multi-consumer** `unbounded` /
-//! `bounded` channels with blocking `send`/`recv`, `try_recv`, and
-//! iteration. Implemented over `Mutex<VecDeque>` + `Condvar`.
+//! In-tree stand-in for `crossbeam` covering the surface this workspace
+//! uses: multi-producer **multi-consumer** `unbounded` / `bounded`
+//! channels with blocking `send`/`recv`, `try_recv`, and iteration
+//! (implemented over `Mutex<VecDeque>` + `Condvar`), plus scoped threads
+//! (`thread::scope`, implemented over `std::thread::scope`).
+
+/// Scoped threads (shim of `crossbeam::thread`).
+///
+/// Differences from upstream: the closure passed to [`Scope::spawn`]
+/// takes no `&Scope` argument (nested spawning is not part of this
+/// workspace's surface), and unjoined child panics are reported through
+/// the `Err` of [`scope`] rather than resuming per-thread payloads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning threads tied to a [`scope`] invocation.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned permission to join a scoped thread (shim of
+    /// `crossbeam::thread::ScopedJoinHandle`).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(f) }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow non-`'static` data;
+    /// every spawned thread is joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload when the closure itself panics (which
+    /// includes the implicit end-of-scope join of any panicked child
+    /// that was not joined explicitly).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
 
 /// MPMC channels (shim of `crossbeam::channel`).
 pub mod channel {
@@ -271,5 +331,25 @@ mod tests {
         let (tx, rx) = channel::bounded::<u32>(1);
         drop(rx);
         assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move || x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|| panic!("child failed"));
+        });
+        assert!(result.is_err());
     }
 }
