@@ -43,7 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod repair;
 pub mod simulate;
 
 pub use event::{Event, EventError, EventKind, EventLog};
+pub use repair::{filter_consistent, final_deliveries, replay_state, Loss, Outage};
 pub use simulate::{simulate, OnlineOutcome, OnlinePolicy};

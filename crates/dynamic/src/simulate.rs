@@ -22,18 +22,18 @@
 //!   deadline has not passed. A request counts as satisfied only if some
 //!   copy is at its destination by the deadline *and survives to the
 //!   deadline*.
-
-use std::collections::HashMap;
+//!
+//! The invalidate/replay/re-plan primitives live in [`crate::repair`] and
+//! are shared with the live admission daemon's fault-tolerance layer.
 
 use dstage_core::heuristic::{drive_state, Heuristic, HeuristicConfig};
-use dstage_core::schedule::{Delivery, Schedule, Transfer};
+use dstage_core::schedule::{Schedule, Transfer};
 use dstage_core::state::SchedulerState;
-use dstage_model::ids::{DataItemId, MachineId};
 use dstage_model::scenario::Scenario;
 use dstage_model::time::SimTime;
-use dstage_path::Hop;
 
 use crate::event::{EventKind, EventLog};
+use crate::repair::{filter_consistent, final_deliveries, replay_state, Loss, Outage};
 
 /// Which heuristic the online scheduler re-plans with.
 #[derive(Debug, Clone)]
@@ -68,124 +68,6 @@ pub struct OnlineOutcome {
     pub replans: u64,
 }
 
-/// Per-(item, machine) copy availability bookkeeping with loss events.
-struct CopyTracker<'a> {
-    avails: HashMap<(DataItemId, MachineId), Vec<SimTime>>,
-    losses: &'a [(DataItemId, MachineId, SimTime)],
-}
-
-impl<'a> CopyTracker<'a> {
-    fn new(scenario: &Scenario, losses: &'a [(DataItemId, MachineId, SimTime)]) -> Self {
-        let mut avails: HashMap<(DataItemId, MachineId), Vec<SimTime>> = HashMap::new();
-        for (item_id, item) in scenario.items() {
-            for src in item.sources() {
-                avails.entry((item_id, src.machine)).or_default().push(src.available_at);
-            }
-        }
-        CopyTracker { avails, losses }
-    }
-
-    fn add(&mut self, item: DataItemId, machine: MachineId, at: SimTime) {
-        self.avails.entry((item, machine)).or_default().push(at);
-    }
-
-    /// Whether a copy of `item` is present at `machine` at instant `at`:
-    /// some copy arrived no later than `at` and no loss hit the machine
-    /// between that arrival and `at` (inclusive).
-    fn present(&self, item: DataItemId, machine: MachineId, at: SimTime) -> bool {
-        let Some(avails) = self.avails.get(&(item, machine)) else { return false };
-        avails.iter().any(|&avail| {
-            avail <= at
-                && !self
-                    .losses
-                    .iter()
-                    .any(|&(i, m, tl)| i == item && m == machine && avail <= tl && tl <= at)
-        })
-    }
-
-    /// The earliest arrival that is still present at `until` (survival to
-    /// the deadline), if any.
-    fn earliest_surviving(
-        &self,
-        item: DataItemId,
-        machine: MachineId,
-        until: SimTime,
-    ) -> Option<SimTime> {
-        let avails = self.avails.get(&(item, machine))?;
-        avails
-            .iter()
-            .copied()
-            .filter(|&avail| {
-                avail <= until
-                    && !self
-                        .losses
-                        .iter()
-                        .any(|&(i, m, tl)| i == item && m == machine && avail <= tl && tl <= until)
-            })
-            .min()
-    }
-}
-
-/// Splits `kept` into transfers consistent with the disturbances so far
-/// and the ones invalidated by them (cascading: a transfer whose source
-/// copy came from an invalidated transfer is itself invalid).
-fn filter_consistent(
-    scenario: &Scenario,
-    mut kept: Vec<Transfer>,
-    outages: &[(dstage_model::ids::VirtualLinkId, SimTime)],
-    losses: &[(DataItemId, MachineId, SimTime)],
-) -> (Vec<Transfer>, Vec<Transfer>) {
-    kept.sort_by_key(|t| (t.start, t.arrival, t.link));
-    let mut tracker = CopyTracker::new(scenario, losses);
-    let mut valid = Vec::with_capacity(kept.len());
-    let mut cancelled = Vec::new();
-    for t in kept {
-        let link_down = outages.iter().any(|&(l, tl)| l == t.link && t.arrival > tl);
-        let source_ok = tracker.present(t.item, t.from, t.start);
-        if link_down || !source_ok {
-            cancelled.push(t);
-        } else {
-            tracker.add(t.item, t.to, t.arrival);
-            valid.push(t);
-        }
-    }
-    (valid, cancelled)
-}
-
-/// Final deliveries under the survival semantics, with hop depths for the
-/// links-traversed statistic.
-fn final_deliveries(
-    scenario: &Scenario,
-    kept: &[Transfer],
-    losses: &[(DataItemId, MachineId, SimTime)],
-) -> Vec<Delivery> {
-    let mut tracker = CopyTracker::new(scenario, losses);
-    let mut depth: HashMap<(DataItemId, MachineId, SimTime), u32> = HashMap::new();
-    let mut sorted: Vec<&Transfer> = kept.iter().collect();
-    sorted.sort_by_key(|t| (t.start, t.arrival, t.link));
-    for t in sorted {
-        let from_depth = depth.iter().filter_map(|(&(i, m, at), &d)| {
-            (i == t.item && m == t.from && at <= t.start).then_some(d)
-        });
-        let d = from_depth.min().unwrap_or(0) + 1;
-        depth.insert((t.item, t.to, t.arrival), d);
-        tracker.add(t.item, t.to, t.arrival);
-    }
-    let mut deliveries = Vec::new();
-    for (req_id, req) in scenario.requests() {
-        if let Some(at) = tracker.earliest_surviving(req.item(), req.destination(), req.deadline())
-        {
-            let hops = depth.get(&(req.item(), req.destination(), at)).copied().unwrap_or(0);
-            deliveries.push(Delivery { request: req_id, at, hops });
-        }
-    }
-    deliveries
-}
-
-fn hop_of(t: &Transfer) -> Hop {
-    Hop { from: t.from, to: t.to, link: t.link, start: t.start, arrival: t.arrival }
-}
-
 /// Runs the online simulation: re-plans at every event boundary and
 /// executes the plan between boundaries.
 ///
@@ -204,8 +86,8 @@ pub fn simulate(scenario: &Scenario, events: &EventLog, policy: &OnlinePolicy) -
     boundaries.extend(events.boundaries());
     boundaries.dedup();
 
-    let mut outages: Vec<(dstage_model::ids::VirtualLinkId, SimTime)> = Vec::new();
-    let mut losses: Vec<(DataItemId, MachineId, SimTime)> = Vec::new();
+    let mut outages: Vec<Outage> = Vec::new();
+    let mut losses: Vec<Loss> = Vec::new();
     let mut kept: Vec<Transfer> = Vec::new();
     let mut cancelled_total: Vec<Transfer> = Vec::new();
     let mut replans = 0u64;
@@ -231,33 +113,8 @@ pub fn simulate(scenario: &Scenario, events: &EventLog, policy: &OnlinePolicy) -
                 state.set_request_active(dstage_model::ids::RequestId::new(r as u32), false);
             }
         }
-        for t in &kept {
-            assert!(
-                state.try_commit_stale_hop(t.item, hop_of(t)),
-                "replay of an executed transfer failed: {t:?}"
-            );
-        }
-        let tracker = CopyTracker::new(scenario, &losses);
-        for &(item, machine, tl) in &losses {
-            state.remove_copies(item, machine, tl);
-            // A request delivered by a now-lost copy becomes pending again
-            // when its deadline is still ahead (the copy did not survive
-            // long enough to be used).
-            for &req_id in scenario.requests_for(item) {
-                let req = scenario.request(req_id);
-                if req.destination() == machine
-                    && tl <= req.deadline()
-                    && state.delivery_of(req_id).is_some_and(|d| d.at <= tl)
-                    && !tracker.present(item, machine, req.deadline())
-                {
-                    state.revoke_delivery(req_id);
-                }
-            }
-        }
-        for &(link, tl) in &outages {
-            state.apply_link_outage(link, tl);
-        }
-        state.block_past(now);
+        replay_state(&mut state, &kept, &outages, &losses, now)
+            .unwrap_or_else(|t| panic!("replay of an executed transfer failed: {t:?}"));
 
         // 4. Re-plan over the remaining horizon.
         drive_state(&mut state, policy.heuristic, &policy.config);
@@ -291,7 +148,7 @@ mod tests {
     use super::*;
     use crate::event::Event;
     use dstage_core::heuristic::run;
-    use dstage_model::ids::{RequestId, VirtualLinkId};
+    use dstage_model::ids::{DataItemId, MachineId, RequestId, VirtualLinkId};
     use dstage_workload::small::{contended_link, fan_out, two_hop_chain};
 
     fn t(s: u64) -> SimTime {

@@ -1,28 +1,47 @@
-//! Concurrent load generator for the admission daemon.
+//! Concurrent load generator for the admission daemon, with an optional
+//! deterministic chaos proxy.
 //!
 //! ```text
 //! stage-loadgen --addr HOST:PORT [OPTIONS]
 //!
 //! OPTIONS:
-//!   --clients N    concurrent client connections (default 8)
-//!   --requests M   total submissions across all clients (default 500)
-//!   --seed S       workload seed — use the daemon's --generate seed so
-//!                  item names match (default 0)
+//!   --clients N      concurrent client connections (default 8)
+//!   --requests M     total submissions across all clients (default 500)
+//!   --seed S         workload seed — use the daemon's --generate seed so
+//!                    item names match (default 0)
+//!   --timeout-ms T   connect/read/write timeout per attempt (default 5000)
+//!   --retries N      bounded retries per request line (default 5)
+//!   --chaos S        interpose a fault proxy seeded with S between the
+//!                    clients and the daemon
 //! ```
 //!
 //! Replays the request stream of the generated dstage-workload scenario
 //! (cycling with shifted deadlines once exhausted; repeats of an already
 //! admitted (item, destination) pair are legitimate rejections), then
 //! prints throughput and client-side latency percentiles.
+//!
+//! Every submit line carries a deterministic `idempotency_key`
+//! (`lg-SEED-INDEX`), and a client that loses its connection mid-run
+//! reconnects and resumes the remaining lines with seeded exponential
+//! backoff — a re-sent line whose response was lost replays the original
+//! decision instead of double-admitting.
+//!
+//! `--chaos S` starts an in-process TCP proxy whose per-connection fault
+//! plan is drawn from a splitmix64 stream over `S`: refuse service, cut
+//! the connection after a byte budget (truncating mid-line), delay each
+//! forwarded chunk, or forward cleanly. The schedule depends only on the
+//! seed and the connection order, making chaos runs reproducible.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use dstage_service::retry::Backoff;
 use dstage_workload::{generate, GeneratorConfig};
+use rand::{Rng, SeedableRng, StdRng};
 use serde::Value;
 
 struct Options {
@@ -30,10 +49,21 @@ struct Options {
     clients: usize,
     requests: usize,
     seed: u64,
+    timeout: Duration,
+    retries: u32,
+    chaos: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut options = Options { addr: String::new(), clients: 8, requests: 500, seed: 0 };
+    let mut options = Options {
+        addr: String::new(),
+        clients: 8,
+        requests: 500,
+        seed: 0,
+        timeout: Duration::from_millis(5_000),
+        retries: 5,
+        chaos: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,6 +89,32 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid seed: {e}"))?;
             }
+            "--timeout-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .ok_or("--timeout-ms needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid timeout: {e}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be positive".to_string());
+                }
+                options.timeout = Duration::from_millis(ms);
+            }
+            "--retries" => {
+                options.retries = args
+                    .next()
+                    .ok_or("--retries needs a count")?
+                    .parse()
+                    .map_err(|e| format!("invalid retry count: {e}"))?;
+            }
+            "--chaos" => {
+                options.chaos = Some(
+                    args.next()
+                        .ok_or("--chaos needs a seed")?
+                        .parse()
+                        .map_err(|e| format!("invalid chaos seed: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -73,7 +129,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// The generated scenario's requests as submit lines, cycled (with
-/// deadlines shifted one hour per lap) until `total` lines exist.
+/// deadlines shifted one hour per lap) until `total` lines exist. Line
+/// `i` carries the deterministic idempotency key `lg-{seed}-{i}`.
 fn submit_lines(seed: u64, total: usize) -> Vec<String> {
     let scenario = generate(&GeneratorConfig::paper(), seed);
     let base: Vec<(String, u64, u64, u8)> = scenario
@@ -92,51 +149,231 @@ fn submit_lines(seed: u64, total: usize) -> Vec<String> {
             let (item, dest, deadline_ms, priority) = &base[i % base.len()];
             let lap = (i / base.len()) as u64;
             format!(
-                r#"{{"verb":"submit","item":"{item}","destination":{dest},"deadline_ms":{},"priority":{priority}}}"#,
+                r#"{{"verb":"submit","item":"{item}","destination":{dest},"deadline_ms":{},"priority":{priority},"idempotency_key":"lg-{seed}-{i}"}}"#,
                 deadline_ms + lap * 3_600_000
             )
         })
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Deterministic chaos proxy
+// ---------------------------------------------------------------------
+
+/// What the proxy does to one accepted connection.
+#[derive(Debug, Clone, Copy)]
+enum FaultPlan {
+    /// Close immediately without talking to the daemon.
+    Refuse,
+    /// Forward, but cut both directions after this many client bytes —
+    /// usually mid-line.
+    CutAfter(usize),
+    /// Forward every chunk after a fixed delay.
+    Delay(Duration),
+    /// Forward untouched.
+    Clean,
+}
+
+impl FaultPlan {
+    /// The plan for the `index`-th accepted connection under `seed`:
+    /// 1/8 refuse, 2/8 cut, 1/8 delay, 4/8 clean.
+    fn for_connection(seed: u64, index: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match rng.gen_range(0..8u32) {
+            0 => FaultPlan::Refuse,
+            1 | 2 => FaultPlan::CutAfter(20 + rng.gen_range(0..400usize)),
+            3 => FaultPlan::Delay(Duration::from_millis(1 + rng.gen_range(0..10u64))),
+            _ => FaultPlan::Clean,
+        }
+    }
+}
+
+/// Binds an ephemeral port and forwards each accepted connection to
+/// `upstream` under a seeded per-connection [`FaultPlan`]. The accept
+/// loop runs until the process exits.
+fn spawn_chaos_proxy(upstream: String, seed: u64) -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    thread::spawn(move || {
+        for (index, stream) in listener.incoming().enumerate() {
+            let Ok(client) = stream else { continue };
+            let upstream = upstream.clone();
+            let plan = FaultPlan::for_connection(seed, index as u64);
+            thread::spawn(move || proxy_connection(client, &upstream, plan));
+        }
+    });
+    Ok(addr)
+}
+
+/// Runs one proxied connection to completion under `plan`.
+fn proxy_connection(client: TcpStream, upstream: &str, plan: FaultPlan) {
+    if matches!(plan, FaultPlan::Refuse) {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(mut server_read), Ok(mut client_write)) = (server.try_clone(), client.try_clone())
+    else {
+        return;
+    };
+    let pump = thread::spawn(move || {
+        let _ = io::copy(&mut server_read, &mut client_write);
+        let _ = client_write.shutdown(Shutdown::Both);
+    });
+    // Client → server in small chunks so a byte budget cuts mid-line.
+    let mut client_read = client;
+    let mut server_write = server;
+    let mut budget = match plan {
+        FaultPlan::CutAfter(bytes) => Some(bytes),
+        _ => None,
+    };
+    let delay = match plan {
+        FaultPlan::Delay(d) => Some(d),
+        _ => None,
+    };
+    let mut buf = [0u8; 64];
+    loop {
+        let n = match client_read.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let (forward, cut) = match budget.as_mut() {
+            Some(remaining) if n >= *remaining => (*remaining, true),
+            Some(remaining) => {
+                *remaining -= n;
+                (n, false)
+            }
+            None => (n, false),
+        };
+        if let Some(d) = delay {
+            thread::sleep(d);
+        }
+        if server_write.write_all(&buf[..forward]).is_err() || server_write.flush().is_err() {
+            break;
+        }
+        if cut {
+            break;
+        }
+    }
+    let _ = server_write.shutdown(Shutdown::Both);
+    let _ = client_read.shutdown(Shutdown::Both);
+    let _ = pump.join();
+}
+
+// ---------------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------------
+
 #[derive(Default)]
 struct ClientStats {
     admitted: u64,
     rejected: u64,
     errors: u64,
+    retries: u64,
+    gave_up: u64,
     latencies: Vec<Duration>,
 }
 
-/// Submits `lines` over one connection, timing each round trip.
-fn run_client(addr: &str, lines: &[String]) -> Result<ClientStats, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = stream;
-    let mut stats =
-        ClientStats { latencies: Vec::with_capacity(lines.len()), ..Default::default() };
-    let mut response = String::new();
-    for line in lines {
-        let start = Instant::now();
-        writeln!(writer, "{line}")
-            .and_then(|()| writer.flush())
-            .map_err(|e| format!("send failed: {e}"))?;
-        response.clear();
-        let n = reader.read_line(&mut response).map_err(|e| format!("recv failed: {e}"))?;
-        if n == 0 {
-            return Err("daemon closed the connection mid-run".to_string());
-        }
-        stats.latencies.push(start.elapsed());
-        match serde_json::from_str::<Value>(response.trim())
-            .ok()
-            .and_then(|v| v.get("decision").and_then(|d| d.as_str().map(str::to_string)))
-            .as_deref()
-        {
-            Some("admitted") => stats.admitted += 1,
-            Some("rejected") => stats.rejected += 1,
-            _ => stats.errors += 1,
+fn connect(addr: &str, timeout: Duration) -> io::Result<(BufReader<TcpStream>, TcpStream)> {
+    use std::net::ToSocketAddrs;
+    let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "address resolved to nothing");
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                let reader = BufReader::new(stream.try_clone()?);
+                return Ok((reader, stream));
+            }
+            Err(e) => last = e,
         }
     }
-    Ok(stats)
+    Err(last)
+}
+
+/// Submits `lines` (global indices starting at `first_index`), timing
+/// each answered round trip. A lost connection is re-established and the
+/// run resumes at the failed line; after `retries` bounded-backoff
+/// attempts the line is abandoned (`gave_up`) and the run continues.
+fn run_client(
+    addr: &str,
+    lines: &[String],
+    first_index: usize,
+    timeout: Duration,
+    retries: u32,
+    seed: u64,
+) -> ClientStats {
+    let mut stats =
+        ClientStats { latencies: Vec::with_capacity(lines.len()), ..Default::default() };
+    let mut conn: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    for (offset, line) in lines.iter().enumerate() {
+        let mut backoff = Backoff::new(
+            seed.wrapping_add((first_index + offset) as u64),
+            retries,
+            Duration::from_millis(50),
+        );
+        let answer = loop {
+            if conn.is_none() {
+                match connect(addr, timeout) {
+                    Ok(c) => conn = Some(c),
+                    Err(_) => match backoff.next_delay() {
+                        Some(delay) => {
+                            stats.retries += 1;
+                            thread::sleep(delay);
+                            continue;
+                        }
+                        None => break None,
+                    },
+                }
+            }
+            let (reader, writer) = conn.as_mut().expect("connected above");
+            let start = Instant::now();
+            let exchange =
+                writeln!(writer, "{line}").and_then(|()| writer.flush()).and_then(|()| {
+                    let mut response = String::new();
+                    match reader.read_line(&mut response) {
+                        Ok(0) => Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "daemon closed the connection mid-run",
+                        )),
+                        Ok(_) => Ok((response, start.elapsed())),
+                        Err(e) => Err(e),
+                    }
+                });
+            match exchange {
+                Ok(answer) => break Some(answer),
+                Err(_) => {
+                    conn = None;
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            stats.retries += 1;
+                            thread::sleep(delay);
+                        }
+                        None => break None,
+                    }
+                }
+            }
+        };
+        match answer {
+            Some((response, latency)) => {
+                stats.latencies.push(latency);
+                match serde_json::from_str::<Value>(response.trim())
+                    .ok()
+                    .and_then(|v| v.get("decision").and_then(|d| d.as_str().map(str::to_string)))
+                    .as_deref()
+                {
+                    Some("admitted") => stats.admitted += 1,
+                    Some("rejected") => stats.rejected += 1,
+                    _ => stats.errors += 1,
+                }
+            }
+            None => stats.gave_up += 1,
+        }
+    }
+    stats
 }
 
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
@@ -155,10 +392,24 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: stage-loadgen --addr HOST:PORT [--clients N] [--requests M] [--seed S]"
+                "usage: stage-loadgen --addr HOST:PORT [--clients N] [--requests M] [--seed S] \
+                 [--timeout-ms T] [--retries N] [--chaos S]"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
+    };
+    let target = match options.chaos {
+        Some(chaos_seed) => match spawn_chaos_proxy(options.addr.clone(), chaos_seed) {
+            Ok(addr) => {
+                println!("chaos proxy on {addr} (seed {chaos_seed}) -> {}", options.addr);
+                addr.to_string()
+            }
+            Err(e) => {
+                eprintln!("error: cannot start chaos proxy: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => options.addr.clone(),
     };
     let lines = Arc::new(submit_lines(options.seed, options.requests));
     // Contiguous per-client slices: client c gets lines [c*share, ...).
@@ -167,48 +418,53 @@ fn main() -> ExitCode {
     let mut handles = Vec::new();
     for client in 0..options.clients {
         let lines = Arc::clone(&lines);
-        let addr = options.addr.clone();
+        let target = target.clone();
+        let timeout = options.timeout;
+        let retries = options.retries;
+        let seed = options.seed;
         handles.push(thread::spawn(move || {
             let lo = (client * share).min(lines.len());
             let hi = ((client + 1) * share).min(lines.len());
-            run_client(&addr, &lines[lo..hi])
+            run_client(&target, &lines[lo..hi], lo, timeout, retries, seed)
         }));
     }
-    let mut admitted = 0u64;
-    let mut rejected = 0u64;
-    let mut errors = 0u64;
-    let mut latencies: Vec<Duration> = Vec::with_capacity(options.requests);
-    let mut failures = Vec::new();
+    let mut totals = ClientStats::default();
+    let mut panicked = 0u64;
     for handle in handles {
         match handle.join() {
-            Ok(Ok(stats)) => {
-                admitted += stats.admitted;
-                rejected += stats.rejected;
-                errors += stats.errors;
-                latencies.extend(stats.latencies);
+            Ok(stats) => {
+                totals.admitted += stats.admitted;
+                totals.rejected += stats.rejected;
+                totals.errors += stats.errors;
+                totals.retries += stats.retries;
+                totals.gave_up += stats.gave_up;
+                totals.latencies.extend(stats.latencies);
             }
-            Ok(Err(e)) => failures.push(e),
-            Err(_) => failures.push("client thread panicked".to_string()),
+            Err(_) => panicked += 1,
         }
     }
     let elapsed = started.elapsed();
-    for failure in &failures {
-        eprintln!("client error: {failure}");
+    if panicked > 0 {
+        eprintln!("client error: {panicked} client thread(s) panicked");
     }
-    latencies.sort_unstable();
-    let answered = latencies.len();
+    totals.latencies.sort_unstable();
+    let answered = totals.latencies.len();
     let throughput = answered as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
     println!("clients: {}, requests: {} ({answered} answered)", options.clients, options.requests);
-    println!("admitted: {admitted}, rejected: {rejected}, protocol errors: {errors}");
+    println!(
+        "admitted: {}, rejected: {}, protocol errors: {}",
+        totals.admitted, totals.rejected, totals.errors
+    );
+    println!("retries: {}, gave up: {}", totals.retries, totals.gave_up);
     println!("elapsed: {:.3} s, throughput: {throughput:.1} req/s", elapsed.as_secs_f64());
     println!(
         "latency: p50 {} µs, p90 {} µs, p99 {} µs, max {} µs",
-        percentile(&latencies, 0.50).as_micros(),
-        percentile(&latencies, 0.90).as_micros(),
-        percentile(&latencies, 0.99).as_micros(),
-        latencies.last().copied().unwrap_or(Duration::ZERO).as_micros()
+        percentile(&totals.latencies, 0.50).as_micros(),
+        percentile(&totals.latencies, 0.90).as_micros(),
+        percentile(&totals.latencies, 0.99).as_micros(),
+        totals.latencies.last().copied().unwrap_or(Duration::ZERO).as_micros()
     );
-    if failures.is_empty() && answered == options.requests {
+    if panicked == 0 && totals.gave_up == 0 && answered == options.requests {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,29 +1,51 @@
 //! One-shot client for the admission daemon.
 //!
 //! ```text
-//! stage-submit --addr HOST:PORT <verb> [ARGS]
+//! stage-submit --addr HOST:PORT [--timeout-ms T] [--retries N] [--retry-seed S] <verb> [ARGS]
 //!
 //! VERBS:
-//!   submit --item NAME --dest M --deadline-ms T [--priority P]
+//!   submit --item NAME --dest M --deadline-ms T [--priority P] [--key K]
 //!   query --request N
+//!   inject --at-ms T (--link L | --item NAME --machine M)
 //!   snapshot
 //!   metrics
 //!   shutdown
 //! ```
 //!
-//! Sends one request line, prints the one response line, and exits 0 if
-//! the daemon answered `ok: true` (admission *rejections* are ok — they
-//! are decisions, not failures), 1 otherwise.
+//! Sends one request line, prints the one response line, and exits:
+//!
+//! * `0` — the daemon answered `ok: true` (admission *rejections* are ok
+//!   — they are decisions, not failures);
+//! * `1` — usage error, protocol error, or `ok: false`;
+//! * `2` — the daemon refused the connection;
+//! * `3` — connecting or reading timed out.
+//!
+//! Connects with a bounded `connect_timeout` and reads with a
+//! `read_timeout` (`--timeout-ms`, default 5000), retrying transient
+//! failures up to `--retries` times (default 2) with seeded exponential
+//! backoff. A retried `submit` is made idempotent automatically: when no
+//! `--key` is given one is generated once and reused across attempts, so
+//! a retry after a lost response never double-admits. `inject` is only
+//! retried when the request line was never sent — the daemon may have
+//! applied a disturbance whose response was lost.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
+use std::time::Duration;
 
+use dstage_service::retry::Backoff;
 use serde::Value;
 
 struct Options {
     addr: String,
     line: String,
+    timeout: Duration,
+    retries: u32,
+    retry_seed: u64,
+    /// Whether a retry may re-send after the line reached the socket
+    /// (reads and keyed submits are idempotent; `inject` is not).
+    resend_safe: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +56,13 @@ fn parse_args() -> Result<Options, String> {
     let mut deadline_ms: Option<u64> = None;
     let mut priority: u64 = 0;
     let mut request: Option<u64> = None;
+    let mut key: Option<String> = None;
+    let mut link: Option<u64> = None;
+    let mut machine: Option<u64> = None;
+    let mut at_ms: Option<u64> = None;
+    let mut timeout_ms: u64 = 5_000;
+    let mut retries: u32 = 2;
+    let mut retry_seed: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +73,16 @@ fn parse_args() -> Result<Options, String> {
             "--deadline-ms" => deadline_ms = Some(parse_number(args.next(), "--deadline-ms")?),
             "--priority" => priority = parse_number(args.next(), "--priority")?,
             "--request" => request = Some(parse_number(args.next(), "--request")?),
+            "--key" => key = Some(args.next().ok_or("--key needs a string")?),
+            "--link" => link = Some(parse_number(args.next(), "--link")?),
+            "--machine" => machine = Some(parse_number(args.next(), "--machine")?),
+            "--at-ms" => at_ms = Some(parse_number(args.next(), "--at-ms")?),
+            "--timeout-ms" => timeout_ms = parse_number(args.next(), "--timeout-ms")?,
+            "--retries" => {
+                retries = u32::try_from(parse_number(args.next(), "--retries")?)
+                    .map_err(|_| "--retries out of range".to_string())?;
+            }
+            "--retry-seed" => retry_seed = parse_number(args.next(), "--retry-seed")?,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other if verb.is_none() => verb = Some(other.to_string()),
@@ -51,19 +90,53 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     let addr = addr.ok_or("--addr is required")?;
+    if timeout_ms == 0 {
+        return Err("--timeout-ms must be positive".to_string());
+    }
+    let mut resend_safe = true;
     let line = match verb.as_deref() {
         Some("submit") => {
             let item = item.ok_or("submit needs --item")?;
             let dest = dest.ok_or("submit needs --dest")?;
             let deadline_ms = deadline_ms.ok_or("submit needs --deadline-ms")?;
+            // Retried submits must be idempotent: without an explicit
+            // key, generate one once and reuse it on every attempt.
+            let key = match key {
+                Some(k) => k,
+                None => {
+                    let nanos = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map_or(0, |d| d.subsec_nanos());
+                    format!("submit-{}-{nanos}", std::process::id())
+                }
+            };
             format!(
-                r#"{{"verb":"submit","item":{},"destination":{dest},"deadline_ms":{deadline_ms},"priority":{priority}}}"#,
-                json_string(&item)
+                r#"{{"verb":"submit","item":{},"destination":{dest},"deadline_ms":{deadline_ms},"priority":{priority},"idempotency_key":{}}}"#,
+                json_string(&item),
+                json_string(&key)
             )
         }
         Some("query") => {
             let request = request.ok_or("query needs --request")?;
             format!(r#"{{"verb":"query","request":{request}}}"#)
+        }
+        Some("inject") => {
+            resend_safe = false;
+            let at_ms = at_ms.ok_or("inject needs --at-ms")?;
+            match (link, item, machine) {
+                (Some(link), None, None) => format!(
+                    r#"{{"verb":"inject","kind":"link_outage","link":{link},"at_ms":{at_ms}}}"#
+                ),
+                (None, Some(item), Some(machine)) => format!(
+                    r#"{{"verb":"inject","kind":"copy_loss","item":{},"machine":{machine},"at_ms":{at_ms}}}"#,
+                    json_string(&item)
+                ),
+                _ => {
+                    return Err(
+                        "inject needs either --link L or --item NAME --machine M".to_string()
+                    )
+                }
+            }
         }
         Some("snapshot") => r#"{"verb":"snapshot"}"#.to_string(),
         Some("metrics") => r#"{"verb":"metrics"}"#.to_string(),
@@ -71,14 +144,21 @@ fn parse_args() -> Result<Options, String> {
         Some(other) => return Err(format!("unknown verb {other:?}")),
         None => return Err("a verb is required".to_string()),
     };
-    Ok(Options { addr, line })
+    Ok(Options {
+        addr,
+        line,
+        timeout: Duration::from_millis(timeout_ms),
+        retries,
+        retry_seed,
+        resend_safe,
+    })
 }
 
 fn parse_number(arg: Option<String>, flag: &str) -> Result<u64, String> {
     arg.ok_or(format!("{flag} needs a number"))?.parse().map_err(|e| format!("invalid {flag}: {e}"))
 }
 
-/// Minimal JSON string escaping for the item name.
+/// Minimal JSON string escaping for item names and keys.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -94,6 +174,76 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// One failed attempt: what happened and whether the request line had
+/// already reached the socket when it happened.
+struct AttemptError {
+    message: String,
+    kind: io::ErrorKind,
+    sent: bool,
+}
+
+impl AttemptError {
+    fn new(stage: &str, e: &io::Error, sent: bool) -> Self {
+        AttemptError { message: format!("{stage}: {e}"), kind: e.kind(), sent }
+    }
+}
+
+/// Connects, sends the request line, and reads the one response line.
+fn attempt(options: &Options) -> Result<String, AttemptError> {
+    let addrs: Vec<SocketAddr> = options
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| AttemptError::new("cannot resolve address", &e, false))?
+        .collect();
+    let mut stream = None;
+    let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "address resolved to nothing");
+    for addr in addrs {
+        match TcpStream::connect_timeout(&addr, options.timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last = e,
+        }
+    }
+    let Some(stream) = stream else {
+        return Err(AttemptError::new(
+            &format!("cannot connect to {}", options.addr),
+            &last,
+            false,
+        ));
+    };
+    stream
+        .set_read_timeout(Some(options.timeout))
+        .and_then(|()| stream.set_write_timeout(Some(options.timeout)))
+        .map_err(|e| AttemptError::new("cannot configure socket", &e, false))?;
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| AttemptError::new("cannot clone socket", &e, false))?,
+    );
+    let mut writer = stream;
+    writeln!(writer, "{}", options.line)
+        .and_then(|()| writer.flush())
+        .map_err(|e| AttemptError::new("cannot send request", &e, false))?;
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) => Err(AttemptError {
+            message: "daemon closed the connection without answering".to_string(),
+            kind: io::ErrorKind::UnexpectedEof,
+            sent: true,
+        }),
+        Ok(_) => Ok(response),
+        Err(e) => Err(AttemptError::new("cannot read response", &e, true)),
+    }
+}
+
+fn exit_code_for(kind: io::ErrorKind) -> ExitCode {
+    match kind {
+        io::ErrorKind::ConnectionRefused => ExitCode::from(2),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ExitCode::from(3),
+        _ => ExitCode::FAILURE,
+    }
+}
+
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(o) => o,
@@ -102,55 +252,50 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: stage-submit --addr HOST:PORT \
-                 (submit --item NAME --dest M --deadline-ms T [--priority P] \
-                 | query --request N | snapshot | metrics | shutdown)"
+                "usage: stage-submit --addr HOST:PORT [--timeout-ms T] [--retries N] \
+                 [--retry-seed S] \
+                 (submit --item NAME --dest M --deadline-ms T [--priority P] [--key K] \
+                 | query --request N \
+                 | inject --at-ms T (--link L | --item NAME --machine M) \
+                 | snapshot | metrics | shutdown)"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
-    let stream = match TcpStream::connect(&options.addr) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot connect to {}: {e}", options.addr);
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut writer = stream;
-    if let Err(e) = writeln!(writer, "{}", options.line).and_then(|()| writer.flush()) {
-        eprintln!("error: cannot send request: {e}");
-        return ExitCode::FAILURE;
-    }
-    let mut response = String::new();
-    match reader.read_line(&mut response) {
-        Ok(0) => {
-            eprintln!("error: daemon closed the connection without answering");
-            ExitCode::FAILURE
-        }
-        Ok(_) => {
-            // Write, not print!: a reader that closes early (snapshot
-            // piped into `head`) must not panic the client.
-            let _ = std::io::stdout().write_all(response.as_bytes());
-            let ok = serde_json::from_str::<Value>(response.trim())
-                .ok()
-                .and_then(|v| v.get("ok").and_then(Value::as_bool))
-                .unwrap_or(false);
-            if ok {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+    let mut backoff = Backoff::new(options.retry_seed, options.retries, Duration::from_millis(50));
+    let response = loop {
+        match attempt(&options) {
+            Ok(response) => break response,
+            Err(e) => {
+                eprintln!("error: {}", e.message);
+                // A non-idempotent verb whose line may have been applied
+                // must not be re-sent.
+                let retryable = options.resend_safe || !e.sent;
+                match backoff.next_delay() {
+                    Some(delay) if retryable => {
+                        eprintln!(
+                            "retrying in {} ms (attempt {}/{})",
+                            delay.as_millis(),
+                            backoff.attempts_used(),
+                            options.retries
+                        );
+                        std::thread::sleep(delay);
+                    }
+                    _ => return exit_code_for(e.kind),
+                }
             }
         }
-        Err(e) => {
-            eprintln!("error: cannot read response: {e}");
-            ExitCode::FAILURE
-        }
+    };
+    // Write, not print!: a reader that closes early (snapshot piped into
+    // `head`) must not panic the client.
+    let _ = std::io::stdout().write_all(response.as_bytes());
+    let ok = serde_json::from_str::<Value>(response.trim())
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Value::as_bool))
+        .unwrap_or(false);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

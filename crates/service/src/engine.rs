@@ -9,26 +9,38 @@
 //! can be delivered by its deadline it is admitted and its path becomes
 //! part of the ledger; otherwise it is rejected and leaves no residue.
 //!
-//! Every method is a deterministic function of the submission history,
-//! which is what makes concurrent serving testable: serializing the same
-//! submissions in the same order through a fresh engine must produce a
-//! byte-identical snapshot.
+//! `inject` feeds a live disturbance (link outage / copy loss) into the
+//! engine: committed reservations the disturbance invalidates are
+//! cancelled with the cascade semantics of [`dstage_dynamic::repair`],
+//! then the displaced requests are re-admitted against the surviving
+//! ledger in weighted-priority order — so forced degradation drops the
+//! lowest `W[p]` first, preserving the paper's objective. A displaced
+//! request that can be re-routed becomes `repaired`; one that cannot is
+//! `evicted` (terminal).
+//!
+//! Every method is a deterministic function of the operation history
+//! (submissions and injections interleaved), which is what makes
+//! concurrent serving testable: serializing the same history in the same
+//! order through a fresh engine must produce a byte-identical snapshot.
 
+use std::cmp::Reverse;
 use std::collections::HashMap;
 
 use dstage_core::heuristic::{drive_state, Heuristic, HeuristicConfig};
 use dstage_core::schedule::{Delivery, Schedule, Transfer};
 use dstage_core::state::SchedulerState;
+use dstage_dynamic::{filter_consistent, final_deliveries, replay_state, Loss, Outage};
 use dstage_model::data::DataItem;
-use dstage_model::ids::{MachineId, RequestId};
+use dstage_model::ids::{DataItemId, MachineId, RequestId, VirtualLinkId};
 use dstage_model::network::Network;
 use dstage_model::request::{Priority, Request};
 use dstage_model::scenario::Scenario;
 use dstage_model::time::{SimDuration, SimTime};
-use dstage_path::Hop;
 use serde::Value;
 
-use crate::protocol::{QueryResponse, RouteHop, SubmitArgs, SubmitResponse};
+use crate::protocol::{
+    InjectArgs, InjectKind, InjectResponse, QueryResponse, RouteHop, SubmitArgs, SubmitResponse,
+};
 
 /// The admission decision recorded for one submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,10 +72,60 @@ pub struct SubmissionRecord {
     pub decision: Decision,
 }
 
+/// One processed injection: the disturbance and what repair did about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionRecord {
+    /// The injected disturbance.
+    pub args: InjectArgs,
+    /// Committed reservations the disturbance invalidated (cascades
+    /// through staged copies included).
+    pub cancelled_transfers: usize,
+    /// Displaced request ids re-admitted on surviving routes, in repair
+    /// order (descending weight, then id).
+    pub repaired: Vec<u32>,
+    /// Displaced request ids no surviving route could satisfy.
+    pub evicted: Vec<u32>,
+}
+
+/// One entry of the decision log: the engine's complete, replayable
+/// operation history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A `submit` and its decision.
+    Submission(SubmissionRecord),
+    /// An `inject` and its repair outcome.
+    Injection(InjectionRecord),
+}
+
+/// Lifecycle of an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Admitted and never displaced.
+    Admitted,
+    /// Displaced by a disturbance and re-admitted on a new route.
+    Repaired,
+    /// Displaced with no surviving route; terminal — a later injection
+    /// never resurrects it.
+    Evicted,
+}
+
+impl RequestStatus {
+    /// The wire name of the status.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestStatus::Admitted => "admitted",
+            RequestStatus::Repaired => "repaired",
+            RequestStatus::Evicted => "evicted",
+        }
+    }
+}
+
 /// Bookkeeping for one admitted request.
 #[derive(Debug, Clone)]
 struct AdmittedInfo {
-    delivery: Delivery,
+    status: RequestStatus,
+    delivery: Option<Delivery>,
     route: Vec<Transfer>,
 }
 
@@ -81,7 +143,11 @@ pub struct AdmissionEngine {
     admitted: Vec<Request>,
     info: Vec<AdmittedInfo>,
     committed: Vec<Transfer>,
-    log: Vec<SubmissionRecord>,
+    outages: Vec<Outage>,
+    losses: Vec<Loss>,
+    now: SimTime,
+    idempotency: HashMap<String, usize>,
+    log: Vec<LogRecord>,
 }
 
 impl AdmissionEngine {
@@ -105,6 +171,10 @@ impl AdmissionEngine {
             admitted: Vec::new(),
             info: Vec::new(),
             committed: Vec::new(),
+            outages: Vec::new(),
+            losses: Vec::new(),
+            now: SimTime::ZERO,
+            idempotency: HashMap::new(),
             log: Vec::new(),
         }
     }
@@ -120,31 +190,64 @@ impl AdmissionEngine {
         self.network.machine_count()
     }
 
-    /// Number of processed submissions (admitted + rejected).
+    /// Number of processed submissions (admitted + rejected); injections
+    /// are not counted.
     #[must_use]
     pub fn submission_count(&self) -> usize {
-        self.log.len()
+        self.log.iter().filter(|r| matches!(r, LogRecord::Submission(_))).count()
     }
 
-    /// Number of admitted requests.
+    /// Number of admitted requests (including later-evicted ones).
     #[must_use]
     pub fn admitted_count(&self) -> usize {
         self.admitted.len()
     }
 
-    /// The processed submissions, in decision order.
+    /// The processed operations, in decision order.
     #[must_use]
-    pub fn log(&self) -> &[SubmissionRecord] {
+    pub fn log(&self) -> &[LogRecord] {
         &self.log
     }
 
     /// Decides admission for one request and, on success, reserves its
-    /// path in the ledger. Never fails: malformed asks become recorded
-    /// rejections so the log stays a complete history.
-    pub fn submit(&mut self, args: &SubmitArgs) -> SubmitResponse {
+    /// path in the ledger. Malformed asks become recorded rejections so
+    /// the log stays a complete history.
+    ///
+    /// A resubmission carrying an already-seen `idempotency_key` with the
+    /// *same* arguments replays the original response without deciding
+    /// (or logging) again — a client retry after a lost response never
+    /// double-admits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the `idempotency_key` was already used with
+    /// *different* arguments; nothing is logged.
+    pub fn submit(&mut self, args: &SubmitArgs) -> Result<SubmitResponse, String> {
+        if let Some(key) = &args.idempotency_key {
+            if let Some(&index) = self.idempotency.get(key) {
+                let LogRecord::Submission(record) = &self.log[index] else {
+                    unreachable!("idempotency keys only index submissions");
+                };
+                if record.args == *args {
+                    return Ok(Self::response_for(index as u64, &record.decision));
+                }
+                return Err(format!(
+                    "idempotency key `{key}` was already used with different arguments"
+                ));
+            }
+        }
         let submission = self.log.len() as u64;
         let decision = self.decide(args);
-        let response = match &decision {
+        let response = Self::response_for(submission, &decision);
+        if let Some(key) = &args.idempotency_key {
+            self.idempotency.insert(key.clone(), submission as usize);
+        }
+        self.log.push(LogRecord::Submission(SubmissionRecord { args: args.clone(), decision }));
+        Ok(response)
+    }
+
+    fn response_for(submission: u64, decision: &Decision) -> SubmitResponse {
+        match decision {
             Decision::Admitted { request, eta, hops, new_transfers } => SubmitResponse {
                 ok: true,
                 submission,
@@ -165,9 +268,7 @@ impl AdmissionEngine {
                 new_transfers: None,
                 reason: Some(reason.clone()),
             },
-        };
-        self.log.push(SubmissionRecord { args: args.clone(), decision });
-        response
+        }
     }
 
     fn decide(&mut self, args: &SubmitArgs) -> Decision {
@@ -183,44 +284,30 @@ impl AdmissionEngine {
             ));
         }
         let candidate = Request::new(
-            dstage_model::ids::DataItemId::new(item),
+            DataItemId::new(item),
             MachineId::new(args.destination),
             SimTime::from_millis(args.deadline_ms),
             Priority::new(args.priority),
         );
-        let scenario = match self.build_scenario(candidate) {
+        let scenario = match self.build_scenario(Some(candidate)) {
             Ok(s) => s,
             Err(reason) => return reject(reason),
         };
         let candidate_id = RequestId::new(self.admitted.len() as u32);
-
-        let mut state = SchedulerState::with_caching(&scenario, self.config.caching);
-        for r in scenario.request_ids() {
-            if r != candidate_id {
-                state.set_request_active(r, false);
-            }
-        }
-        for t in &self.committed {
-            let hop =
-                Hop { from: t.from, to: t.to, link: t.link, start: t.start, arrival: t.arrival };
-            if !state.try_commit_stale_hop(t.item, hop) {
-                return reject("internal: committed reservation failed to replay".to_string());
-            }
-        }
-        drive_state(&mut state, self.heuristic, &self.config);
-        let (plan, _metrics) = state.into_outcome();
-
-        match plan.delivery_of(candidate_id) {
-            Some(delivery) if delivery.at <= candidate.deadline() => {
-                let transfers = plan.transfers();
-                debug_assert!(
-                    transfers.starts_with(&self.committed),
-                    "replayed reservations must be a prefix of the new plan"
-                );
-                let route: Vec<Transfer> = transfers[self.committed.len()..].to_vec();
+        match self.route_candidate(&scenario, candidate_id) {
+            Err(reason) => reject(reason),
+            Ok(None) => reject(format!(
+                "deadline {} ms unreachable for `{}` to M{} under the current ledger",
+                args.deadline_ms, args.item, args.destination
+            )),
+            Ok(Some((delivery, route))) => {
                 let new_transfers = route.len();
-                self.committed = transfers.to_vec();
-                self.info.push(AdmittedInfo { delivery, route });
+                self.committed.extend(route.iter().copied());
+                self.info.push(AdmittedInfo {
+                    status: RequestStatus::Admitted,
+                    delivery: Some(delivery),
+                    route,
+                });
                 self.admitted.push(candidate);
                 Decision::Admitted {
                     request: candidate_id,
@@ -229,19 +316,43 @@ impl AdmissionEngine {
                     new_transfers,
                 }
             }
-            _ => reject(format!(
-                "deadline {} ms unreachable for `{}` to M{} under the current ledger",
-                args.deadline_ms, args.item, args.destination
-            )),
         }
     }
 
-    fn build_scenario(&self, candidate: Request) -> Result<Scenario, String> {
+    /// Tries to route `target` on top of the committed ledger and the
+    /// disturbances so far. Returns the delivery plus the *new* transfers
+    /// the plan adds (membership-filtered, not prefix-sliced: a replay
+    /// may satisfy a hop from an already-staged copy without pushing a
+    /// duplicate reservation).
+    fn route_candidate(
+        &self,
+        scenario: &Scenario,
+        target: RequestId,
+    ) -> Result<Option<(Delivery, Vec<Transfer>)>, String> {
+        let mut state = SchedulerState::with_caching(scenario, self.config.caching);
+        for r in scenario.request_ids() {
+            if r != target {
+                state.set_request_active(r, false);
+            }
+        }
+        replay_state(&mut state, &self.committed, &self.outages, &self.losses, self.now)
+            .map_err(|t| format!("internal: committed reservation failed to replay: {t:?}"))?;
+        drive_state(&mut state, self.heuristic, &self.config);
+        let (plan, _metrics) = state.into_outcome();
+        let deadline = scenario.request(target).deadline();
+        Ok(plan.delivery_of(target).filter(|d| d.at <= deadline).map(|delivery| {
+            let route: Vec<Transfer> =
+                plan.transfers().iter().filter(|t| !self.committed.contains(t)).copied().collect();
+            (delivery, route)
+        }))
+    }
+
+    fn build_scenario(&self, candidate: Option<Request>) -> Result<Scenario, String> {
         let latest = self
             .admitted
             .iter()
             .map(Request::deadline)
-            .chain([candidate.deadline()])
+            .chain(candidate.map(|c| c.deadline()))
             .max()
             .unwrap_or(SimTime::ZERO);
         let horizon = self.horizon.max(latest + self.gc_delay);
@@ -252,9 +363,188 @@ impl AdmissionEngine {
         }
         builder
             .add_requests(self.admitted.iter().copied())
-            .add_request(candidate)
+            .add_requests(candidate)
             .build()
             .map_err(|e| e.to_string())
+    }
+
+    /// Injects a disturbance and repairs the schedule around it.
+    ///
+    /// Invalidated reservations are cancelled (cascading through staged
+    /// copies), then every displaced, non-evicted request is re-routed
+    /// against the surviving ledger in descending-weight order; requests
+    /// that cannot be re-routed are evicted — degradation sheds the
+    /// lowest `W[p]` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown link, item, or machine id;
+    /// nothing is logged or changed.
+    pub fn inject(&mut self, args: &InjectArgs) -> Result<InjectResponse, String> {
+        let at = SimTime::from_millis(args.at_ms);
+        match &args.kind {
+            InjectKind::LinkOutage { link } => {
+                if *link as usize >= self.network.link_count() {
+                    return Err(format!(
+                        "unknown link id {link} (network has {} links)",
+                        self.network.link_count()
+                    ));
+                }
+                self.outages.push((VirtualLinkId::new(*link), at));
+            }
+            InjectKind::CopyLoss { item, machine } => {
+                let Some(&item_id) = self.item_ids.get(item.as_str()) else {
+                    return Err(format!("unknown data item `{item}`"));
+                };
+                if *machine as usize >= self.network.machine_count() {
+                    return Err(format!(
+                        "unknown machine id {machine} (network has {} machines)",
+                        self.network.machine_count()
+                    ));
+                }
+                self.losses.push((DataItemId::new(item_id), MachineId::new(*machine), at));
+            }
+        }
+        self.now = self.now.max(at);
+        let (cancelled, repaired, evicted) = self.repair();
+        let injection = self.log.len() as u64;
+        let response = InjectResponse {
+            ok: true,
+            injection,
+            kind: args.kind.as_str().to_string(),
+            cancelled_transfers: cancelled as u64,
+            displaced: (repaired.len() + evicted.len()) as u64,
+            repaired: repaired.len() as u64,
+            evicted: evicted.len() as u64,
+        };
+        self.log.push(LogRecord::Injection(InjectionRecord {
+            args: args.clone(),
+            cancelled_transfers: cancelled,
+            repaired,
+            evicted,
+        }));
+        Ok(response)
+    }
+
+    /// Incremental repair after a disturbance: cancel invalidated
+    /// reservations, refresh surviving deliveries, then re-route the
+    /// displaced requests best-first. Returns `(cancelled, repaired,
+    /// evicted)`.
+    fn repair(&mut self) -> (usize, Vec<u32>, Vec<u32>) {
+        let scenario =
+            self.build_scenario(None).expect("the admitted set was validated one submit at a time");
+        let (valid, cancelled) = filter_consistent(
+            &scenario,
+            std::mem::take(&mut self.committed),
+            &self.outages,
+            &self.losses,
+        );
+        self.committed = valid;
+        let committed = &self.committed;
+        for info in &mut self.info {
+            info.route.retain(|t| committed.contains(t));
+        }
+
+        // The surviving ledger is the authority on who is still promised
+        // a delivery (survival-to-deadline semantics, §4.4).
+        let surviving = final_deliveries(&scenario, &self.committed, &self.losses);
+        let mut displaced: Vec<u32> = Vec::new();
+        for (id, info) in self.info.iter_mut().enumerate() {
+            if info.status == RequestStatus::Evicted {
+                continue;
+            }
+            match surviving.iter().find(|d| d.request.index() == id) {
+                Some(d) => info.delivery = Some(*d),
+                None => displaced.push(id as u32),
+            }
+        }
+        displaced.sort_by_key(|&id| {
+            let weight = self.config.priority_weights.weight(self.admitted[id as usize].priority());
+            (Reverse(weight), id)
+        });
+
+        let mut repaired = Vec::new();
+        let mut evicted = Vec::new();
+        for id in displaced {
+            // An internal replay failure (`Err`) means the surviving
+            // ledger itself is inconsistent; degrade by evicting rather
+            // than wedging the daemon.
+            match self.route_candidate(&scenario, RequestId::new(id)).unwrap_or(None) {
+                Some((delivery, route)) => {
+                    self.committed.extend(route.iter().copied());
+                    let info = &mut self.info[id as usize];
+                    info.status = RequestStatus::Repaired;
+                    info.delivery = Some(delivery);
+                    info.route.extend(route);
+                    repaired.push(id);
+                }
+                None => {
+                    let info = &mut self.info[id as usize];
+                    info.status = RequestStatus::Evicted;
+                    info.delivery = None;
+                    evicted.push(id);
+                }
+            }
+        }
+        (cancelled.len(), repaired, evicted)
+    }
+
+    /// Replays one snapshot-log record (an entry of the snapshot's
+    /// `log` array) through this engine.
+    ///
+    /// Feeding a fresh engine every record of a daemon's snapshot log,
+    /// in order, must rebuild a byte-identical snapshot — the
+    /// determinism invariant the loopback and chaos tests check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a record with a missing/unknown verb or
+    /// missing fields, and propagates `submit`/`inject` errors.
+    pub fn replay_record(&mut self, entry: &Value) -> Result<(), String> {
+        let u64_field = |name: &str| {
+            entry.get(name).and_then(Value::as_u64).ok_or_else(|| format!("missing `{name}`"))
+        };
+        let str_field = |name: &str| {
+            entry
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing `{name}`"))
+        };
+        match entry.get("verb").and_then(Value::as_str) {
+            Some("submit") => {
+                self.submit(&SubmitArgs {
+                    item: str_field("item")?,
+                    destination: u32::try_from(u64_field("destination")?)
+                        .map_err(|_| "`destination` out of range".to_string())?,
+                    deadline_ms: u64_field("deadline_ms")?,
+                    priority: u8::try_from(u64_field("priority")?)
+                        .map_err(|_| "`priority` out of range".to_string())?,
+                    idempotency_key: entry
+                        .get("idempotency_key")
+                        .and_then(Value::as_str)
+                        .map(str::to_string),
+                })?;
+                Ok(())
+            }
+            Some("inject") => {
+                let kind = match str_field("kind")?.as_str() {
+                    "link_outage" => InjectKind::LinkOutage {
+                        link: u32::try_from(u64_field("link")?)
+                            .map_err(|_| "`link` out of range".to_string())?,
+                    },
+                    "copy_loss" => InjectKind::CopyLoss {
+                        item: str_field("item")?,
+                        machine: u32::try_from(u64_field("machine")?)
+                            .map_err(|_| "`machine` out of range".to_string())?,
+                    },
+                    other => return Err(format!("unknown inject kind `{other}`")),
+                };
+                self.inject(&InjectArgs { kind, at_ms: u64_field("at_ms")? })?;
+                Ok(())
+            }
+            other => Err(format!("unknown log verb {other:?}")),
+        }
     }
 
     /// Status, route, and ETA of an admitted request.
@@ -271,13 +561,13 @@ impl AdmissionEngine {
         Ok(QueryResponse {
             ok: true,
             request: u64::from(request),
-            status: "admitted".to_string(),
+            status: info.status.as_str().to_string(),
             item: self.items[req.item().index()].name().to_string(),
             destination: req.destination().index() as u64,
             deadline_ms: req.deadline().as_millis(),
             priority: u64::from(req.priority().level()),
-            eta_ms: info.delivery.at.as_millis(),
-            hops: u64::from(info.delivery.hops),
+            eta_ms: info.delivery.map(|d| d.at.as_millis()),
+            hops: info.delivery.map(|d| u64::from(d.hops)),
             route: info
                 .route
                 .iter()
@@ -292,28 +582,51 @@ impl AdmissionEngine {
         })
     }
 
-    /// Admission counters: per-priority admitted/rejected tallies and the
-    /// weighted sum of satisfied requests (paper's objective).
+    /// Admission counters: per-priority admitted/rejected tallies, the
+    /// fault-tolerance tallies, and the weighted sum of *currently
+    /// satisfied* requests (the paper's objective — an evicted request no
+    /// longer counts).
     #[must_use]
     pub fn counters(&self) -> AdmissionCounters {
         let levels = self.config.priority_weights.levels() as usize;
         let mut admitted_by_priority = vec![0u64; levels];
         let mut rejected_by_priority = vec![0u64; levels];
-        let mut weighted_sum = 0u64;
+        let mut submissions = 0u64;
+        let mut injections = 0u64;
         for record in &self.log {
-            let level = (record.args.priority as usize).min(levels.saturating_sub(1));
-            match &record.decision {
-                Decision::Admitted { .. } => {
-                    admitted_by_priority[level] += 1;
-                    weighted_sum += self.config.priority_weights.weight(Priority::new(level as u8));
+            match record {
+                LogRecord::Submission(s) => {
+                    submissions += 1;
+                    let level = (s.args.priority as usize).min(levels.saturating_sub(1));
+                    match &s.decision {
+                        Decision::Admitted { .. } => admitted_by_priority[level] += 1,
+                        Decision::Rejected { .. } => rejected_by_priority[level] += 1,
+                    }
                 }
-                Decision::Rejected { .. } => rejected_by_priority[level] += 1,
+                LogRecord::Injection(_) => injections += 1,
+            }
+        }
+        let mut repaired = 0u64;
+        let mut evicted = 0u64;
+        let mut weighted_sum = 0u64;
+        for (req, info) in self.admitted.iter().zip(&self.info) {
+            match info.status {
+                RequestStatus::Admitted => {}
+                RequestStatus::Repaired => repaired += 1,
+                RequestStatus::Evicted => evicted += 1,
+            }
+            if info.status != RequestStatus::Evicted {
+                weighted_sum += self.config.priority_weights.weight(req.priority());
             }
         }
         AdmissionCounters {
-            submissions: self.log.len() as u64,
+            submissions,
             admitted: self.admitted.len() as u64,
-            rejected: (self.log.len() - self.admitted.len()) as u64,
+            rejected: submissions - self.admitted.len() as u64,
+            injections,
+            repaired,
+            evicted,
+            satisfied: self.admitted.len() as u64 - evicted,
             admitted_by_priority,
             rejected_by_priority,
             weighted_sum,
@@ -321,11 +634,12 @@ impl AdmissionEngine {
     }
 
     /// The full service state as one deterministic JSON value: decision
-    /// log, committed schedule, and per-link ledger. Equal submission
+    /// log (submissions and injections interleaved), per-request
+    /// statuses, committed schedule, and per-link ledger. Equal operation
     /// histories produce byte-identical serializations.
     #[must_use]
     pub fn snapshot(&self) -> Value {
-        let deliveries: Vec<Delivery> = self.info.iter().map(|i| i.delivery).collect();
+        let deliveries: Vec<Delivery> = self.info.iter().filter_map(|i| i.delivery).collect();
         let schedule = Schedule::from_parts(self.committed.clone(), deliveries);
         let schedule_value = serde::to_value(&schedule).unwrap_or(Value::Null);
 
@@ -363,6 +677,30 @@ impl AdmissionEngine {
                 .collect(),
         );
 
+        let requests = Value::Array(
+            self.admitted
+                .iter()
+                .zip(&self.info)
+                .enumerate()
+                .map(|(id, (req, info))| {
+                    let mut fields = vec![
+                        ("request".to_string(), Value::UInt(id as u64)),
+                        (
+                            "item".to_string(),
+                            Value::String(self.items[req.item().index()].name().to_string()),
+                        ),
+                        ("destination".to_string(), Value::UInt(req.destination().index() as u64)),
+                        ("priority".to_string(), Value::UInt(u64::from(req.priority().level()))),
+                        ("status".to_string(), Value::String(info.status.as_str().to_string())),
+                    ];
+                    if let Some(d) = info.delivery {
+                        fields.push(("eta_ms".to_string(), Value::UInt(d.at.as_millis())));
+                    }
+                    Value::Object(fields)
+                })
+                .collect(),
+        );
+
         let log = Value::Array(self.log.iter().map(record_value).collect());
         let counters = self.counters();
         Value::Object(vec![
@@ -370,35 +708,77 @@ impl AdmissionEngine {
             ("submissions".to_string(), Value::UInt(counters.submissions)),
             ("admitted".to_string(), Value::UInt(counters.admitted)),
             ("rejected".to_string(), Value::UInt(counters.rejected)),
+            ("injections".to_string(), Value::UInt(counters.injections)),
+            ("repaired".to_string(), Value::UInt(counters.repaired)),
+            ("evicted".to_string(), Value::UInt(counters.evicted)),
+            ("satisfied".to_string(), Value::UInt(counters.satisfied)),
             ("weighted_sum".to_string(), Value::UInt(counters.weighted_sum)),
             ("log".to_string(), log),
+            ("requests".to_string(), requests),
             ("schedule".to_string(), schedule_value),
             ("ledger".to_string(), ledger),
         ])
     }
 }
 
-fn record_value(record: &SubmissionRecord) -> Value {
-    let mut fields = vec![
-        ("item".to_string(), Value::String(record.args.item.clone())),
-        ("destination".to_string(), Value::UInt(u64::from(record.args.destination))),
-        ("deadline_ms".to_string(), Value::UInt(record.args.deadline_ms)),
-        ("priority".to_string(), Value::UInt(u64::from(record.args.priority))),
-    ];
-    match &record.decision {
-        Decision::Admitted { request, eta, hops, new_transfers } => {
-            fields.push(("decision".to_string(), Value::String("admitted".to_string())));
-            fields.push(("request".to_string(), Value::UInt(request.index() as u64)));
-            fields.push(("eta_ms".to_string(), Value::UInt(eta.as_millis())));
-            fields.push(("hops".to_string(), Value::UInt(u64::from(*hops))));
-            fields.push(("new_transfers".to_string(), Value::UInt(*new_transfers as u64)));
+fn record_value(record: &LogRecord) -> Value {
+    match record {
+        LogRecord::Submission(record) => {
+            let mut fields = vec![
+                ("verb".to_string(), Value::String("submit".to_string())),
+                ("item".to_string(), Value::String(record.args.item.clone())),
+                ("destination".to_string(), Value::UInt(u64::from(record.args.destination))),
+                ("deadline_ms".to_string(), Value::UInt(record.args.deadline_ms)),
+                ("priority".to_string(), Value::UInt(u64::from(record.args.priority))),
+            ];
+            if let Some(key) = &record.args.idempotency_key {
+                fields.push(("idempotency_key".to_string(), Value::String(key.clone())));
+            }
+            match &record.decision {
+                Decision::Admitted { request, eta, hops, new_transfers } => {
+                    fields.push(("decision".to_string(), Value::String("admitted".to_string())));
+                    fields.push(("request".to_string(), Value::UInt(request.index() as u64)));
+                    fields.push(("eta_ms".to_string(), Value::UInt(eta.as_millis())));
+                    fields.push(("hops".to_string(), Value::UInt(u64::from(*hops))));
+                    fields.push(("new_transfers".to_string(), Value::UInt(*new_transfers as u64)));
+                }
+                Decision::Rejected { reason } => {
+                    fields.push(("decision".to_string(), Value::String("rejected".to_string())));
+                    fields.push(("reason".to_string(), Value::String(reason.clone())));
+                }
+            }
+            Value::Object(fields)
         }
-        Decision::Rejected { reason } => {
-            fields.push(("decision".to_string(), Value::String("rejected".to_string())));
-            fields.push(("reason".to_string(), Value::String(reason.clone())));
+        LogRecord::Injection(record) => {
+            let mut fields = vec![
+                ("verb".to_string(), Value::String("inject".to_string())),
+                ("kind".to_string(), Value::String(record.args.kind.as_str().to_string())),
+            ];
+            match &record.args.kind {
+                InjectKind::LinkOutage { link } => {
+                    fields.push(("link".to_string(), Value::UInt(u64::from(*link))));
+                }
+                InjectKind::CopyLoss { item, machine } => {
+                    fields.push(("item".to_string(), Value::String(item.clone())));
+                    fields.push(("machine".to_string(), Value::UInt(u64::from(*machine))));
+                }
+            }
+            fields.push(("at_ms".to_string(), Value::UInt(record.args.at_ms)));
+            fields.push((
+                "cancelled_transfers".to_string(),
+                Value::UInt(record.cancelled_transfers as u64),
+            ));
+            fields.push((
+                "repaired".to_string(),
+                Value::Array(record.repaired.iter().map(|&r| Value::UInt(u64::from(r))).collect()),
+            ));
+            fields.push((
+                "evicted".to_string(),
+                Value::Array(record.evicted.iter().map(|&r| Value::UInt(u64::from(r))).collect()),
+            ));
+            Value::Object(fields)
         }
     }
-    Value::Object(fields)
 }
 
 /// Admission counters reported by the `metrics` verb.
@@ -406,17 +786,25 @@ fn record_value(record: &SubmissionRecord) -> Value {
 pub struct AdmissionCounters {
     /// Processed submissions (admitted + rejected).
     pub submissions: u64,
-    /// Admitted requests.
+    /// Admitted requests (including later-evicted ones).
     pub admitted: u64,
     /// Rejected submissions.
     pub rejected: u64,
+    /// Processed injections.
+    pub injections: u64,
+    /// Requests currently in `repaired` status.
+    pub repaired: u64,
+    /// Requests evicted by repair (terminal).
+    pub evicted: u64,
+    /// Admitted requests still promised a delivery (admitted − evicted).
+    pub satisfied: u64,
     /// Admitted count per priority level (index = level).
     pub admitted_by_priority: Vec<u64>,
     /// Rejected count per priority level (index = level).
     pub rejected_by_priority: Vec<u64>,
-    /// Σ weight(priority) over admitted requests — the paper's objective
-    /// restricted to the admitted set (every admitted request is
-    /// satisfied by construction).
+    /// Σ weight(priority) over currently satisfied requests — the
+    /// paper's objective restricted to the promises the daemon still
+    /// keeps.
     pub weighted_sum: u64,
 }
 
@@ -424,20 +812,30 @@ pub struct AdmissionCounters {
 mod tests {
     use super::*;
     use dstage_core::cost::{CostCriterion, EuWeights};
-    use dstage_model::request::PriorityWeights;
-    use dstage_workload::small::two_hop_chain;
+    use dstage_model::prelude::*;
+    use dstage_workload::small::{fan_out, two_hop_chain};
+
+    fn config() -> HeuristicConfig {
+        HeuristicConfig {
+            criterion: CostCriterion::C4,
+            eu: EuWeights::from_log10_ratio(2.0),
+            priority_weights: PriorityWeights::paper_1_10_100(),
+            caching: true,
+        }
+    }
 
     fn engine() -> AdmissionEngine {
-        AdmissionEngine::new(
-            &two_hop_chain(),
-            Heuristic::FullPathOneDestination,
-            HeuristicConfig {
-                criterion: CostCriterion::C4,
-                eu: EuWeights::from_log10_ratio(2.0),
-                priority_weights: PriorityWeights::paper_1_10_100(),
-                caching: true,
-            },
-        )
+        AdmissionEngine::new(&two_hop_chain(), Heuristic::FullPathOneDestination, config())
+    }
+
+    fn args(item: &str, dest: u32, deadline_ms: u64) -> SubmitArgs {
+        SubmitArgs {
+            item: item.to_string(),
+            destination: dest,
+            deadline_ms,
+            priority: 2,
+            idempotency_key: None,
+        }
     }
 
     fn submit(
@@ -446,12 +844,7 @@ mod tests {
         dest: u32,
         deadline_ms: u64,
     ) -> SubmitResponse {
-        engine.submit(&SubmitArgs {
-            item: item.to_string(),
-            destination: dest,
-            deadline_ms,
-            priority: 2,
-        })
+        engine.submit(&args(item, dest, deadline_ms)).expect("no idempotency conflict")
     }
 
     #[test]
@@ -497,7 +890,8 @@ mod tests {
         let r = submit(&mut e, &item, dest, 7_200_000);
         let q = e.query(r.request.unwrap() as u32).unwrap();
         assert_eq!(q.item, item);
-        assert_eq!(q.eta_ms, r.eta_ms.unwrap());
+        assert_eq!(q.status, "admitted");
+        assert_eq!(q.eta_ms, r.eta_ms);
         assert_eq!(q.route.len() as u64, r.new_transfers.unwrap());
         assert!(e.query(99).is_err());
 
@@ -506,6 +900,8 @@ mod tests {
         assert_eq!(c.submissions, 2);
         assert_eq!(c.admitted, 1);
         assert_eq!(c.rejected, 1);
+        assert_eq!(c.injections, 0);
+        assert_eq!(c.satisfied, 1);
         assert_eq!(c.admitted_by_priority.iter().sum::<u64>(), 1);
         assert_eq!(c.weighted_sum, 100);
     }
@@ -518,8 +914,159 @@ mod tests {
             let dest = (e.machine_count() - 1) as u32;
             submit(&mut e, &item, dest, 7_200_000);
             submit(&mut e, "ghost", dest, 5);
+            e.inject(&InjectArgs { kind: InjectKind::LinkOutage { link: 0 }, at_ms: 1_000 })
+                .unwrap();
             serde_json::to_string(&e.snapshot()).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn idempotent_resubmit_replays_and_conflicting_reuse_errors() {
+        let mut e = engine();
+        let item = e.item_names().next().unwrap().to_string();
+        let dest = (e.machine_count() - 1) as u32;
+        let mut keyed = args(&item, dest, 7_200_000);
+        keyed.idempotency_key = Some("retry-1".to_string());
+        let first = e.submit(&keyed).unwrap();
+        assert_eq!(first.decision, "admitted");
+        // Same key, same args: the original decision replays, nothing is
+        // re-admitted, and the log does not grow.
+        let replay = e.submit(&keyed).unwrap();
+        assert_eq!(serde_json::to_string(&replay).unwrap(), serde_json::to_string(&first).unwrap());
+        assert_eq!(e.submission_count(), 1);
+        assert_eq!(e.admitted_count(), 1);
+        // Same key, different args: hard error, not a silent dedupe.
+        let mut conflicting = keyed.clone();
+        conflicting.deadline_ms += 1;
+        let err = e.submit(&conflicting).unwrap_err();
+        assert!(err.contains("different arguments"), "got: {err}");
+        assert_eq!(e.submission_count(), 1);
+    }
+
+    #[test]
+    fn inject_rejects_unknown_ids_without_logging() {
+        let mut e = engine();
+        let bad_link =
+            e.inject(&InjectArgs { kind: InjectKind::LinkOutage { link: 99 }, at_ms: 0 });
+        assert!(bad_link.unwrap_err().contains("unknown link"));
+        let bad_item = e.inject(&InjectArgs {
+            kind: InjectKind::CopyLoss { item: "ghost".to_string(), machine: 0 },
+            at_ms: 0,
+        });
+        assert!(bad_item.unwrap_err().contains("unknown data item"));
+        let known_item = e.item_names().next().unwrap().to_string();
+        let bad_machine = e.inject(&InjectArgs {
+            kind: InjectKind::CopyLoss { item: known_item, machine: 99 },
+            at_ms: 0,
+        });
+        assert!(bad_machine.unwrap_err().contains("unknown machine"));
+        assert!(e.log().is_empty());
+        assert_eq!(e.counters().injections, 0);
+    }
+
+    #[test]
+    fn copy_loss_repairs_from_retained_intermediate_copy() {
+        // fan_out: m0 --L0--> hub(m1) --L1/L2/L3--> d1..d3. Losing d1's
+        // copy after arrival lets repair redeliver from the hub's
+        // retained copy (γ retention, §4.4).
+        let mut e = AdmissionEngine::new(&fan_out(), Heuristic::FullPathOneDestination, config());
+        let item = e.item_names().next().unwrap().to_string();
+        let r = submit(&mut e, &item, 2, 1_800_000);
+        assert_eq!(r.decision, "admitted");
+        let eta = r.eta_ms.unwrap();
+        let loss_at = eta + 1_000;
+        let resp = e
+            .inject(&InjectArgs {
+                kind: InjectKind::CopyLoss { item: item.clone(), machine: 2 },
+                at_ms: loss_at,
+            })
+            .unwrap();
+        assert_eq!(resp.displaced, 1);
+        assert_eq!(resp.repaired, 1);
+        assert_eq!(resp.evicted, 0);
+        assert_eq!(resp.cancelled_transfers, 0, "the loss hit the copy, not a transfer");
+        let q = e.query(0).unwrap();
+        assert_eq!(q.status, "repaired");
+        assert!(q.eta_ms.unwrap() > loss_at, "re-delivery must postdate the loss");
+        let c = e.counters();
+        assert_eq!((c.injections, c.repaired, c.evicted, c.satisfied), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn repair_evicts_in_ascending_weight_order() {
+        // Two parallel links m0 -> m1: L0 open from t=0, L1 only from
+        // t=30s. Both requests fit on L0 (10 s each); after L0 dies at
+        // t=1s only ONE can make its 45 s deadline via L1 (30-40 s). The
+        // high-priority request must win that slot even though the
+        // low-priority one was admitted first.
+        let mut b = NetworkBuilder::new();
+        for i in 0..2 {
+            b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(4)));
+        }
+        let m = MachineId::new;
+        let two_hours = SimTime::from_hours(2);
+        b.add_link(VirtualLink::new(m(0), m(1), SimTime::ZERO, two_hours, BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            SimTime::from_secs(30),
+            two_hours,
+            BitsPerSec::new(8_000),
+        ));
+        let catalog = Scenario::builder(b.build())
+            .add_item(DataItem::new(
+                "alpha",
+                Bytes::new(10_000),
+                vec![DataSource::new(m(0), SimTime::ZERO)],
+            ))
+            .add_item(DataItem::new(
+                "beta",
+                Bytes::new(10_000),
+                vec![DataSource::new(m(0), SimTime::ZERO)],
+            ))
+            .build()
+            .unwrap();
+        let mut e = AdmissionEngine::new(&catalog, Heuristic::FullPathOneDestination, config());
+        let low = e
+            .submit(&SubmitArgs {
+                item: "beta".to_string(),
+                destination: 1,
+                deadline_ms: 45_000,
+                priority: 0,
+                idempotency_key: None,
+            })
+            .unwrap();
+        assert_eq!(low.decision, "admitted");
+        let high = e
+            .submit(&SubmitArgs {
+                item: "alpha".to_string(),
+                destination: 1,
+                deadline_ms: 45_000,
+                priority: 2,
+                idempotency_key: None,
+            })
+            .unwrap();
+        assert_eq!(high.decision, "admitted");
+
+        let resp = e
+            .inject(&InjectArgs { kind: InjectKind::LinkOutage { link: 0 }, at_ms: 1_000 })
+            .unwrap();
+        assert_eq!(resp.displaced, 2);
+        assert_eq!(resp.repaired, 1);
+        assert_eq!(resp.evicted, 1);
+        // Repair ran best-first: the high-priority request (id 1) holds
+        // the surviving slot, the low-priority one (id 0) was shed.
+        assert_eq!(e.query(1).unwrap().status, "repaired");
+        assert_eq!(e.query(0).unwrap().status, "evicted");
+        assert!(e.query(0).unwrap().eta_ms.is_none());
+        let c = e.counters();
+        assert_eq!(c.weighted_sum, 100, "only the repaired W=100 request still counts");
+        // Eviction is terminal: a later injection does not resurrect it.
+        let later = e
+            .inject(&InjectArgs { kind: InjectKind::LinkOutage { link: 0 }, at_ms: 2_000 })
+            .unwrap();
+        assert_eq!(later.displaced, 0);
+        assert_eq!(e.query(0).unwrap().status, "evicted");
     }
 }

@@ -4,18 +4,25 @@
 //! Turns the offline schedulers of `dstage-core` into a long-running
 //! service: a TCP daemon speaking newline-delimited JSON that admits or
 //! rejects data requests one at a time, reserving network capacity for
-//! admitted paths in a live ledger. The moving parts:
+//! admitted paths in a live ledger, and repairing that ledger when
+//! disturbances are injected. The moving parts:
 //!
-//! * [`engine::AdmissionEngine`] — deterministic admission state
-//!   (catalog, admitted requests, committed reservations);
-//! * [`protocol`] — the five-verb NDJSON wire protocol
-//!   (`submit`, `query`, `snapshot`, `metrics`, `shutdown`);
+//! * [`engine::AdmissionEngine`] — deterministic admission +
+//!   fault-tolerance state (catalog, admitted requests, committed
+//!   reservations, injected disturbances, repair outcomes);
+//! * [`protocol`] — the six-verb NDJSON wire protocol (`submit`,
+//!   `query`, `inject`, `snapshot`, `metrics`, `shutdown`), with
+//!   idempotent retries via `idempotency_key` on `submit`;
 //! * [`server::Server`] — accept loop + crossbeam worker pool sharing
-//!   the engine behind a `parking_lot::RwLock`.
+//!   the engine behind a `parking_lot::RwLock`, with request lines
+//!   bounded at [`server::MAX_LINE_BYTES`];
+//! * [`retry::Backoff`] — bounded, seeded exponential backoff shared by
+//!   the client binaries.
 //!
 //! Binaries: `stage-serve` (the daemon), `stage-submit` (one-shot
-//! client), `stage-loadgen` (concurrent replay of a generated workload
-//! with throughput and latency percentiles).
+//! client with timeouts, retries, and fault injection), `stage-loadgen`
+//! (concurrent replay of a generated workload with reconnect-and-resume
+//! clients and an optional deterministic chaos proxy, `--chaos SEED`).
 //!
 //! # Examples
 //!
@@ -24,7 +31,7 @@
 //! ```
 //! use dstage_core::heuristic::{Heuristic, HeuristicConfig};
 //! use dstage_service::engine::AdmissionEngine;
-//! use dstage_service::protocol::SubmitArgs;
+//! use dstage_service::protocol::{InjectArgs, InjectKind, SubmitArgs};
 //! use dstage_workload::small::two_hop_chain;
 //!
 //! let mut engine = AdmissionEngine::new(
@@ -32,13 +39,24 @@
 //!     Heuristic::FullPathOneDestination,
 //!     HeuristicConfig::paper_best(),
 //! );
-//! let decision = engine.submit(&SubmitArgs {
-//!     item: "alpha".to_string(),
-//!     destination: 2,
-//!     deadline_ms: 7_200_000,
-//!     priority: 2,
-//! });
+//! let decision = engine
+//!     .submit(&SubmitArgs {
+//!         item: "alpha".to_string(),
+//!         destination: 2,
+//!         deadline_ms: 7_200_000,
+//!         priority: 2,
+//!         idempotency_key: None,
+//!     })
+//!     .expect("no idempotency conflict");
 //! assert_eq!(decision.decision, "admitted");
+//!
+//! // Losing the only first-hop link displaces the request; with no
+//! // surviving route it is evicted and `query` says so.
+//! let outcome = engine
+//!     .inject(&InjectArgs { kind: InjectKind::LinkOutage { link: 0 }, at_ms: 1_000 })
+//!     .expect("link 0 exists");
+//! assert_eq!(outcome.displaced, 1);
+//! assert_eq!(engine.query(0).unwrap().status, "evicted");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,13 +64,19 @@
 
 pub mod engine;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
 /// Convenience re-exports of the service vocabulary.
 pub mod prelude {
-    pub use crate::engine::{AdmissionCounters, AdmissionEngine, Decision, SubmissionRecord};
-    pub use crate::protocol::{
-        ClientRequest, ErrorResponse, QueryResponse, SubmitArgs, SubmitResponse,
+    pub use crate::engine::{
+        AdmissionCounters, AdmissionEngine, Decision, InjectionRecord, LogRecord, RequestStatus,
+        SubmissionRecord,
     };
-    pub use crate::server::{LatencyHistogram, Server, ServerConfig};
+    pub use crate::protocol::{
+        ClientRequest, ErrorResponse, InjectArgs, InjectKind, InjectResponse, QueryResponse,
+        SubmitArgs, SubmitResponse,
+    };
+    pub use crate::retry::Backoff;
+    pub use crate::server::{LatencyHistogram, Server, ServerConfig, MAX_LINE_BYTES};
 }

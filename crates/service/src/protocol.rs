@@ -1,8 +1,16 @@
 //! The wire protocol: newline-delimited JSON over TCP.
 //!
 //! Every request is one JSON object per line carrying a `verb` field;
-//! every response is one JSON object per line carrying `ok`. The five
-//! verbs are `submit`, `query`, `snapshot`, `metrics`, and `shutdown`.
+//! every response is one JSON object per line carrying `ok`. The six
+//! verbs are `submit`, `query`, `inject`, `snapshot`, `metrics`, and
+//! `shutdown`.
+//!
+//! `submit` may carry an `idempotency_key`: resubmitting the same key
+//! with the same arguments returns the original decision instead of
+//! deciding again, so a client that lost a response can retry safely.
+//! `inject` feeds a live disturbance (a link outage or a copy loss,
+//! mirroring `dstage_dynamic::EventKind`) into the daemon, which cancels
+//! invalidated reservations and repairs displaced requests.
 
 use serde::{Serialize, Value};
 
@@ -16,6 +24,9 @@ pub enum ClientRequest {
         /// The request id returned by an earlier `submit`.
         request: u32,
     },
+    /// Inject a disturbance: invalidate affected reservations, then
+    /// repair displaced requests against the surviving ledger.
+    Inject(InjectArgs),
     /// Ask for the full schedule and per-link ledger.
     Snapshot,
     /// Ask for admission counters and the service-latency histogram.
@@ -35,6 +46,48 @@ pub struct SubmitArgs {
     pub deadline_ms: u64,
     /// Priority level (0 = low).
     pub priority: u8,
+    /// Client-chosen retry token: a resubmission with the same key and
+    /// the same arguments returns the original decision; the same key
+    /// with *different* arguments is an error.
+    pub idempotency_key: Option<String>,
+}
+
+/// What kind of disturbance an `inject` request carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectKind {
+    /// A virtual link goes down for the remainder of its window.
+    LinkOutage {
+        /// The failing link id.
+        link: u32,
+    },
+    /// The copy of an item held at a machine is lost.
+    CopyLoss {
+        /// Name of the item whose copy vanishes.
+        item: String,
+        /// The machine losing it.
+        machine: u32,
+    },
+}
+
+impl InjectKind {
+    /// The wire name of the kind (`"link_outage"` / `"copy_loss"`).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InjectKind::LinkOutage { .. } => "link_outage",
+            InjectKind::CopyLoss { .. } => "copy_loss",
+        }
+    }
+}
+
+/// Arguments of an `inject` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectArgs {
+    /// What fails.
+    pub kind: InjectKind,
+    /// When the disturbance takes effect (simulation milliseconds).
+    /// Reservations completed strictly before this instant survive.
+    pub at_ms: u64,
 }
 
 impl ClientRequest {
@@ -59,11 +112,31 @@ impl ClientRequest {
                 deadline_ms: require_u64(&value, "deadline_ms")?,
                 priority: u8::try_from(require_u64(&value, "priority")?)
                     .map_err(|_| "field `priority` out of range".to_string())?,
+                idempotency_key: optional_str(&value, "idempotency_key")?,
             })),
             "query" => Ok(ClientRequest::Query {
                 request: u32::try_from(require_u64(&value, "request")?)
                     .map_err(|_| "field `request` out of range".to_string())?,
             }),
+            "inject" => {
+                let kind = match require_str(&value, "kind")? {
+                    "link_outage" => InjectKind::LinkOutage {
+                        link: u32::try_from(require_u64(&value, "link")?)
+                            .map_err(|_| "field `link` out of range".to_string())?,
+                    },
+                    "copy_loss" => InjectKind::CopyLoss {
+                        item: require_str(&value, "item")?.to_string(),
+                        machine: u32::try_from(require_u64(&value, "machine")?)
+                            .map_err(|_| "field `machine` out of range".to_string())?,
+                    },
+                    other => {
+                        return Err(format!(
+                            "unknown inject kind `{other}` (expected `link_outage` or `copy_loss`)"
+                        ))
+                    }
+                };
+                Ok(ClientRequest::Inject(InjectArgs { kind, at_ms: require_u64(&value, "at_ms")? }))
+            }
             "snapshot" => Ok(ClientRequest::Snapshot),
             "metrics" => Ok(ClientRequest::Metrics),
             "shutdown" => Ok(ClientRequest::Shutdown),
@@ -77,6 +150,16 @@ fn require_str<'a>(value: &'a Value, field: &str) -> Result<&'a str, String> {
         .get(field)
         .and_then(Value::as_str)
         .ok_or_else(|| format!("missing string field `{field}`"))
+}
+
+fn optional_str(value: &Value, field: &str) -> Result<Option<String>, String> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("field `{field}` must be a string")),
+    }
 }
 
 fn require_u64(value: &Value, field: &str) -> Result<u64, String> {
@@ -101,7 +184,8 @@ pub struct SubmitResponse {
     /// Whether the request was understood (admission *rejections* still
     /// carry `ok: true` — they are successful decisions).
     pub ok: bool,
-    /// Index of this submission in the daemon's processing order.
+    /// Index of this submission in the daemon's decision log. A deduped
+    /// retry repeats the original submission's index.
     pub submission: u64,
     /// `"admitted"` or `"rejected"`.
     pub decision: String,
@@ -120,6 +204,27 @@ pub struct SubmitResponse {
     /// Why admission was refused; absent on admission.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub reason: Option<String>,
+}
+
+/// Response to an `inject` request.
+#[derive(Debug, Clone, Serialize)]
+pub struct InjectResponse {
+    /// Always `true` (invalid injections get an [`ErrorResponse`]).
+    pub ok: bool,
+    /// Index of this injection in the daemon's decision log.
+    pub injection: u64,
+    /// `"link_outage"` or `"copy_loss"`.
+    pub kind: String,
+    /// Committed reservations invalidated by the disturbance (including
+    /// cascades through staged copies).
+    pub cancelled_transfers: u64,
+    /// Requests whose promised delivery the disturbance destroyed.
+    pub displaced: u64,
+    /// Displaced requests re-admitted on a surviving route.
+    pub repaired: u64,
+    /// Displaced requests that no surviving route can satisfy — dropped
+    /// lowest `W[p]` first.
+    pub evicted: u64,
 }
 
 /// One hop of an admitted request's route, as reported by `query`.
@@ -144,8 +249,10 @@ pub struct QueryResponse {
     pub ok: bool,
     /// The queried request id.
     pub request: u64,
-    /// Status — currently always `"admitted"`; rejected submissions have
-    /// no request id to query.
+    /// Status — `"admitted"`, `"repaired"` (displaced by a disturbance
+    /// and re-admitted on a new route), or `"evicted"` (displaced with no
+    /// surviving route; rejected submissions have no request id to
+    /// query).
     pub status: String,
     /// Name of the requested data item.
     pub item: String,
@@ -155,11 +262,15 @@ pub struct QueryResponse {
     pub deadline_ms: u64,
     /// Priority level.
     pub priority: u64,
-    /// Delivery ETA (simulation ms).
-    pub eta_ms: u64,
-    /// Hop count of the delivery path.
-    pub hops: u64,
-    /// The link reservations staged for this request, in commit order.
+    /// Delivery ETA (simulation ms); absent once evicted.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub eta_ms: Option<u64>,
+    /// Hop count of the delivery path; absent once evicted.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub hops: Option<u64>,
+    /// The surviving link reservations staged for this request, in
+    /// commit order (an evicted request may retain staged partial
+    /// copies — the paper's §4.5 rationale).
     pub route: Vec<RouteHop>,
 }
 
@@ -197,6 +308,7 @@ mod tests {
                 destination: 3,
                 deadline_ms: 60_000,
                 priority: 2,
+                idempotency_key: None,
             })
         );
         assert_eq!(
@@ -212,6 +324,52 @@ mod tests {
             ClientRequest::parse(r#"{"verb":"shutdown"}"#).unwrap(),
             ClientRequest::Shutdown
         );
+    }
+
+    #[test]
+    fn parses_idempotency_key() {
+        let submit = ClientRequest::parse(
+            r#"{"verb":"submit","item":"map","destination":3,"deadline_ms":60000,"priority":2,"idempotency_key":"k-1"}"#,
+        )
+        .unwrap();
+        let ClientRequest::Submit(args) = submit else { panic!("expected submit") };
+        assert_eq!(args.idempotency_key.as_deref(), Some("k-1"));
+        // Present but ill-typed is an error, not a silent None.
+        assert!(ClientRequest::parse(
+            r#"{"verb":"submit","item":"m","destination":0,"deadline_ms":1,"priority":0,"idempotency_key":7}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_inject_variants() {
+        assert_eq!(
+            ClientRequest::parse(
+                r#"{"verb":"inject","kind":"link_outage","link":4,"at_ms":60000}"#
+            )
+            .unwrap(),
+            ClientRequest::Inject(InjectArgs {
+                kind: InjectKind::LinkOutage { link: 4 },
+                at_ms: 60_000
+            })
+        );
+        assert_eq!(
+            ClientRequest::parse(
+                r#"{"verb":"inject","kind":"copy_loss","item":"map","machine":2,"at_ms":1}"#
+            )
+            .unwrap(),
+            ClientRequest::Inject(InjectArgs {
+                kind: InjectKind::CopyLoss { item: "map".to_string(), machine: 2 },
+                at_ms: 1
+            })
+        );
+        // Missing pieces are errors.
+        assert!(ClientRequest::parse(r#"{"verb":"inject","kind":"link_outage","link":4}"#).is_err());
+        assert!(ClientRequest::parse(r#"{"verb":"inject","kind":"meteor","at_ms":1}"#).is_err());
+        assert!(ClientRequest::parse(
+            r#"{"verb":"inject","kind":"copy_loss","item":"m","at_ms":1}"#
+        )
+        .is_err());
     }
 
     #[test]

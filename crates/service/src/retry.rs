@@ -1,0 +1,98 @@
+//! Bounded, seeded exponential backoff for client retries.
+//!
+//! Both `stage-submit` and `stage-loadgen` retry transient connection and
+//! read failures through a [`Backoff`]: delays double per attempt up to a
+//! cap, with uniform jitter drawn from a seeded generator so a retry
+//! schedule is reproducible run to run — load tests and the chaos harness
+//! stay deterministic even when they retry.
+
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng, StdRng};
+
+/// A bounded exponential-backoff schedule with seeded jitter.
+///
+/// Attempt `n` (0-based) sleeps a uniform duration from
+/// `[base·2ⁿ/2, base·2ⁿ]`, capped at [`Backoff::CAP`]. After
+/// `max_attempts` delays the schedule is exhausted and `next_delay`
+/// returns `None`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    rng: StdRng,
+    base: Duration,
+    attempts: u32,
+    max_attempts: u32,
+}
+
+impl Backoff {
+    /// Upper bound on any single delay.
+    pub const CAP: Duration = Duration::from_secs(2);
+
+    /// Creates a schedule of at most `max_attempts` retries starting
+    /// around `base`, jittered by the generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64, max_attempts: u32, base: Duration) -> Self {
+        Backoff { rng: StdRng::seed_from_u64(seed), base, attempts: 0, max_attempts }
+    }
+
+    /// The delay to sleep before the next retry, or `None` once the
+    /// attempt budget is spent.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempts >= self.max_attempts {
+            return None;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempts).unwrap_or(u32::MAX))
+            .min(Self::CAP);
+        self.attempts += 1;
+        let millis = u64::try_from(exp.as_millis()).unwrap_or(u64::MAX);
+        Some(Duration::from_millis(self.rng.gen_range(millis / 2..=millis)))
+    }
+
+    /// Retries handed out so far.
+    #[must_use]
+    pub fn attempts_used(&self) -> u32 {
+        self.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let collect = |seed| {
+            let mut b = Backoff::new(seed, 5, Duration::from_millis(10));
+            std::iter::from_fn(|| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_eq!(collect(42).len(), 5);
+    }
+
+    #[test]
+    fn delays_grow_but_stay_capped() {
+        let mut b = Backoff::new(7, 16, Duration::from_millis(100));
+        let delays: Vec<Duration> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 16);
+        assert_eq!(b.attempts_used(), 16);
+        // Attempt n draws from [base·2ⁿ/2, base·2ⁿ] (capped): each delay
+        // is above half its exponential target, and none exceeds the cap.
+        for (n, d) in delays.iter().enumerate() {
+            let target = Duration::from_millis(100)
+                .saturating_mul(1u32.checked_shl(n as u32).unwrap_or(u32::MAX))
+                .min(Backoff::CAP);
+            assert!(*d <= target, "attempt {n}: {d:?} above target {target:?}");
+            assert!(*d >= target / 2, "attempt {n}: {d:?} below half target {target:?}");
+        }
+        assert!(b.next_delay().is_none(), "budget exhausted");
+    }
+
+    #[test]
+    fn zero_attempts_never_delays() {
+        let mut b = Backoff::new(1, 0, Duration::from_millis(10));
+        assert!(b.next_delay().is_none());
+        assert_eq!(b.attempts_used(), 0);
+    }
+}

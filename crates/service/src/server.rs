@@ -1,12 +1,16 @@
 //! The TCP daemon: accept loop, crossbeam worker pool, and the shared
 //! engine behind a `parking_lot::RwLock`.
 //!
-//! Submissions take the write lock (admission mutates the ledger) and are
-//! therefore serialized — the order in which concurrent clients win the
-//! lock *is* the decision order, and the snapshot records it, so a
-//! sequential replay of the same order reproduces the state byte for
-//! byte. Queries, snapshots, and metrics take the read lock and can run
-//! concurrently with each other.
+//! Submissions and injections take the write lock (both mutate the
+//! ledger) and are therefore serialized — the order in which concurrent
+//! clients win the lock *is* the decision order, and the snapshot records
+//! it, so a sequential replay of the same order reproduces the state byte
+//! for byte. Queries, snapshots, and metrics take the read lock and can
+//! run concurrently with each other.
+//!
+//! Request lines are bounded at [`MAX_LINE_BYTES`]: a client streaming an
+//! endless line gets one error response and is disconnected instead of
+//! growing a worker's buffer without limit.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -21,6 +25,11 @@ use serde::Value;
 
 use crate::engine::AdmissionEngine;
 use crate::protocol::{response_line, ClientRequest, ErrorResponse};
+
+/// Longest accepted request line, in bytes (newline excluded). Anything
+/// longer gets an error response and the connection is dropped — the
+/// remainder of the oversized line cannot be re-synchronized.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Upper bucket bounds of the service-latency histogram, in microseconds.
 /// A final unbounded bucket catches everything above the last bound.
@@ -246,14 +255,30 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut line = Vec::new();
     loop {
         line.clear();
-        match read_line_retrying(&mut reader, &mut line, shared) {
-            Some(0) | None => return, // EOF, hard error, or draining
-            Some(_) => {}
+        match read_bounded_line(&mut reader, &mut line, shared) {
+            // EOF (including mid-line), hard error, or draining: the
+            // worker moves on to the next connection.
+            LineRead::Closed => return,
+            LineRead::TooLong => {
+                let error =
+                    ErrorResponse::line(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                let _ = writeln!(writer, "{error}");
+                let _ = writer.flush();
+                return;
+            }
+            LineRead::Line => {}
         }
-        let trimmed = line.trim();
+        let Ok(text) = std::str::from_utf8(&line) else {
+            let error = ErrorResponse::line("request line is not valid UTF-8");
+            if writeln!(writer, "{error}").is_err() || writer.flush().is_err() {
+                return;
+            }
+            continue;
+        };
+        let trimmed = text.trim();
         if trimmed.is_empty() {
             continue;
         }
@@ -264,27 +289,58 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-/// `read_line` that rides out timeout ticks, bailing once the server is
-/// draining. Returns `None` on hard errors or drain, bytes read otherwise.
-fn read_line_retrying(
+/// Outcome of reading one bounded request line.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// EOF, a hard socket error, or server drain — stop serving.
+    Closed,
+    /// The line exceeded [`MAX_LINE_BYTES`] before its newline arrived.
+    TooLong,
+}
+
+/// Reads one newline-terminated line into `line`, riding out read-timeout
+/// ticks (bailing once the server is draining) and refusing to buffer
+/// more than [`MAX_LINE_BYTES`].
+fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
-    line: &mut String,
+    line: &mut Vec<u8>,
     shared: &Shared,
-) -> Option<usize> {
+) -> LineRead {
     loop {
-        match reader.read_line(line) {
-            Ok(n) => return Some(n),
+        // The chunk handling is split from `fill_buf` so the borrow ends
+        // before `consume`.
+        let step = match reader.fill_buf() {
+            Ok([]) => return LineRead::Closed, // EOF; a partial line is discarded
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..pos]);
+                    Some((pos + 1, true))
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    Some((buf.len(), false))
+                }
+            },
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                // Partial input (if any) stays in `line`; keep appending
-                // unless we are draining.
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return None;
+                    return LineRead::Closed;
                 }
+                None
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return None,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => None,
+            Err(_) => return LineRead::Closed,
+        };
+        if let Some((consumed, complete)) = step {
+            reader.consume(consumed);
+            if line.len() > MAX_LINE_BYTES {
+                return LineRead::TooLong;
+            }
+            if complete {
+                return LineRead::Line;
+            }
         }
     }
 }
@@ -298,12 +354,21 @@ fn dispatch(shared: &Shared, line: &str) -> String {
     match request {
         ClientRequest::Submit(args) => {
             let start = Instant::now();
-            let response = shared.engine.write().submit(&args);
-            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-            shared.latency.lock().record(micros);
-            response_line(&response)
+            let result = shared.engine.write().submit(&args);
+            match result {
+                Ok(response) => {
+                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    shared.latency.lock().record(micros);
+                    response_line(&response)
+                }
+                Err(message) => ErrorResponse::line(message),
+            }
         }
         ClientRequest::Query { request } => match shared.engine.read().query(request) {
+            Ok(response) => response_line(&response),
+            Err(message) => ErrorResponse::line(message),
+        },
+        ClientRequest::Inject(args) => match shared.engine.write().inject(&args) {
             Ok(response) => response_line(&response),
             Err(message) => ErrorResponse::line(message),
         },

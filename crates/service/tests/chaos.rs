@@ -1,0 +1,168 @@
+//! Chaos integration test: the real `stage-serve` binary under the real
+//! `stage-loadgen` with its deterministic fault proxy interposed, plus
+//! live disturbance injections mid-run. The invariant: the daemon's
+//! post-chaos snapshot must be byte-identical to a fault-free sequential
+//! replay of the surviving decision log — faults may slow clients down
+//! and force retries, but they must never corrupt admission state.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use dstage_core::cost::{CostCriterion, EuWeights};
+use dstage_core::heuristic::{Heuristic, HeuristicConfig};
+use dstage_model::request::PriorityWeights;
+use dstage_service::engine::AdmissionEngine;
+use dstage_workload::{generate, GeneratorConfig};
+use serde::Value;
+
+/// Workload seed shared by the daemon (`--generate`) and the load
+/// generator (`--seed`) so item names line up.
+const SEED: u64 = 11;
+/// Fault-schedule seed for the loadgen chaos proxy. Fixed so CI runs the
+/// same refuse/cut/delay schedule every time.
+const CHAOS_SEED: u64 = 7;
+const REQUESTS: usize = 48;
+/// Wall-clock ceiling for the whole run (chaos delays + retries
+/// included); CI treats a slower run as a hang.
+const BUDGET: Duration = Duration::from_secs(120);
+
+/// The heuristic configuration matching `stage-serve`'s defaults.
+fn config() -> HeuristicConfig {
+    HeuristicConfig {
+        criterion: CostCriterion::C4,
+        eu: EuWeights::from_log10_ratio(2.0),
+        priority_weights: PriorityWeights::paper_1_10_100(),
+        caching: true,
+    }
+}
+
+fn spawn_server() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stage-serve"))
+        .args(["--generate", &SEED.to_string(), "--addr", "127.0.0.1:0", "--workers", "8"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn stage-serve");
+    let stdout = child.stdout.take().expect("stage-serve stdout is piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read the listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn round_trip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, request: &str) -> Value {
+    writeln!(writer, "{request}").expect("send");
+    writer.flush().expect("flush");
+    let mut response = String::new();
+    let n = reader.read_line(&mut response).expect("recv");
+    assert!(n > 0, "daemon closed the connection after {request:?}");
+    serde_json::from_str(response.trim())
+        .unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    (BufReader::new(stream.try_clone().expect("clone stream")), stream)
+}
+
+#[test]
+fn chaotic_run_snapshot_equals_fault_free_replay() {
+    let started = Instant::now();
+    let scenario = generate(&GeneratorConfig::paper(), SEED);
+    let item = {
+        let (_, request) = scenario.requests().next().expect("paper catalog has requests");
+        scenario.item(request.item()).name().to_string()
+    };
+    let (mut server, addr) = spawn_server();
+
+    // Load phase: the real loadgen binary with the chaos proxy
+    // interposed. Every submit line is keyed, so retries through the
+    // faulty proxy must converge on exactly one decision per line.
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_stage-loadgen"))
+        .args([
+            "--addr",
+            &addr,
+            "--clients",
+            "4",
+            "--requests",
+            &REQUESTS.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--timeout-ms",
+            "2000",
+            "--retries",
+            "8",
+            "--chaos",
+            &CHAOS_SEED.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn stage-loadgen");
+
+    // Disturbances land while the chaotic load is in flight; the engine's
+    // write lock serializes them into the decision log wherever they fall.
+    std::thread::sleep(Duration::from_millis(200));
+    let (mut reader, mut writer) = connect(&addr);
+    let outage = round_trip(
+        &mut reader,
+        &mut writer,
+        r#"{"verb":"inject","kind":"link_outage","link":0,"at_ms":60000}"#,
+    );
+    assert_eq!(outage.get("ok").and_then(Value::as_bool), Some(true), "{outage:?}");
+    let loss = round_trip(
+        &mut reader,
+        &mut writer,
+        &format!(
+            r#"{{"verb":"inject","kind":"copy_loss","item":"{item}","machine":0,"at_ms":120000}}"#
+        ),
+    );
+    assert_eq!(loss.get("ok").and_then(Value::as_bool), Some(true), "{loss:?}");
+    drop((reader, writer));
+
+    let output = loadgen.wait_with_output().expect("wait for stage-loadgen");
+    let summary = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(
+        output.status.success(),
+        "stage-loadgen must answer every line despite chaos, got {:?}\n{summary}",
+        output.status
+    );
+    assert!(summary.contains("gave up: 0"), "no line may be abandoned:\n{summary}");
+    assert!(summary.contains("chaos proxy on"), "the proxy must be interposed:\n{summary}");
+
+    // Authoritative post-chaos state, then shutdown.
+    let (mut reader, mut writer) = connect(&addr);
+    let snapshot = round_trip(&mut reader, &mut writer, r#"{"verb":"snapshot"}"#);
+    // Keyed retries deduplicate: despite cut connections and re-sent
+    // lines, exactly REQUESTS submissions reach the log.
+    assert_eq!(snapshot.get("submissions").and_then(Value::as_u64), Some(REQUESTS as u64));
+    assert_eq!(snapshot.get("injections").and_then(Value::as_u64), Some(2));
+    let bye = round_trip(&mut reader, &mut writer, r#"{"verb":"shutdown"}"#);
+    assert_eq!(bye.get("draining").and_then(Value::as_bool), Some(true));
+    drop((reader, writer));
+    let status = server.wait().expect("wait for stage-serve");
+    assert!(status.success(), "stage-serve must drain cleanly, got {status:?}");
+
+    // The invariant: a fresh engine replaying the surviving decision log
+    // with no faults anywhere reproduces the snapshot byte for byte.
+    let mut replay = AdmissionEngine::new(&scenario, Heuristic::FullPathOneDestination, config());
+    let log = snapshot.get("log").and_then(Value::as_array).expect("snapshot log");
+    for entry in log {
+        replay.replay_record(entry).expect("replay log record");
+    }
+    let live_bytes = serde_json::to_string(&snapshot).expect("reserialize snapshot");
+    let replay_bytes = serde_json::to_string(&replay.snapshot()).expect("serialize replay");
+    assert_eq!(replay_bytes, live_bytes, "chaos must not corrupt admission state");
+
+    assert!(
+        started.elapsed() < BUDGET,
+        "chaos run exceeded its wall-clock budget: {:?}",
+        started.elapsed()
+    );
+}

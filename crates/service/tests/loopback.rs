@@ -13,7 +13,6 @@ use dstage_core::heuristic::{Heuristic, HeuristicConfig};
 use dstage_model::request::PriorityWeights;
 use dstage_model::scenario::Scenario;
 use dstage_service::engine::AdmissionEngine;
-use dstage_service::protocol::SubmitArgs;
 use dstage_workload::{generate, GeneratorConfig};
 use serde::Value;
 
@@ -169,13 +168,7 @@ fn concurrent_decisions_match_sequential_replay_byte_for_byte() {
     let mut replay = AdmissionEngine::new(&scenario, Heuristic::FullPathOneDestination, config());
     let log = snapshot.get("log").and_then(Value::as_array).expect("snapshot log");
     for entry in log {
-        let field = |name: &str| entry.get(name).and_then(Value::as_u64).expect(name);
-        replay.submit(&SubmitArgs {
-            item: entry.get("item").and_then(Value::as_str).expect("item").to_string(),
-            destination: u32::try_from(field("destination")).expect("destination"),
-            deadline_ms: field("deadline_ms"),
-            priority: u8::try_from(field("priority")).expect("priority"),
-        });
+        replay.replay_record(entry).expect("replay log record");
     }
     let live_bytes = serde_json::to_string(&snapshot).expect("reserialize snapshot");
     let replay_bytes = serde_json::to_string(&replay.snapshot()).expect("serialize replay");

@@ -1,8 +1,9 @@
 //! Admission-control service end to end: starts the daemon in-process on
 //! an ephemeral loopback port, drives it with concurrent NDJSON clients
-//! (the same wire protocol `stage-submit` speaks), and shows that the
-//! snapshot is a deterministic function of the decision order by
-//! replaying it sequentially through a fresh engine.
+//! (the same wire protocol `stage-submit` speaks), injects a live link
+//! outage that forces a schedule repair, and shows that the snapshot is
+//! a deterministic function of the decision order by replaying it
+//! sequentially through a fresh engine.
 //!
 //! ```text
 //! cargo run --release --example admission_service
@@ -14,7 +15,6 @@ use std::thread;
 
 use data_staging::core::heuristic::{Heuristic, HeuristicConfig};
 use data_staging::service::engine::AdmissionEngine;
-use data_staging::service::protocol::SubmitArgs;
 use data_staging::service::server::{Server, ServerConfig};
 use data_staging::workload::{generate, GeneratorConfig};
 use serde::Value;
@@ -74,11 +74,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{admitted} of {} submissions admitted over the wire", requests.len());
 
-    // Pull the authoritative state, then shut the daemon down.
+    // A live disturbance: a heavily used virtual link goes down right
+    // after the schedule is built. The engine cancels every committed
+    // transfer the outage invalidates and re-admits displaced requests
+    // in weighted-priority order, evicting only what no longer fits.
     let stream = TcpStream::connect(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
+    writeln!(writer, r#"{{"verb":"inject","kind":"link_outage","link":193,"at_ms":1}}"#)?;
+    writer.flush()?;
+    reader.read_line(&mut line)?;
+    let injection: Value = serde_json::from_str(line.trim())?;
+    println!(
+        "link 193 outage: {} transfers cancelled, {} requests displaced, {} repaired, {} evicted",
+        injection.get("cancelled_transfers").and_then(Value::as_u64).unwrap_or(0),
+        injection.get("displaced").and_then(Value::as_u64).unwrap_or(0),
+        injection.get("repaired").and_then(Value::as_u64).unwrap_or(0),
+        injection.get("evicted").and_then(Value::as_u64).unwrap_or(0),
+    );
+
+    // Pull the authoritative state, then shut the daemon down.
+    line.clear();
     writeln!(writer, r#"{{"verb":"snapshot"}}"#)?;
     writer.flush()?;
     reader.read_line(&mut line)?;
@@ -91,17 +108,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         final_snapshot.get("weighted_sum").and_then(Value::as_u64).unwrap_or(0)
     );
 
-    // Determinism: replaying the daemon's decision log sequentially
-    // through a fresh engine reproduces the snapshot byte for byte.
+    // Determinism: replaying the daemon's decision log — submissions
+    // and injections alike — sequentially through a fresh engine
+    // reproduces the snapshot byte for byte.
     let mut replay = AdmissionEngine::new(&catalog, heuristic, config);
     for entry in snapshot.get("log").and_then(Value::as_array).unwrap_or(&Vec::new()) {
-        let field = |name: &str| entry.get(name).and_then(Value::as_u64).unwrap_or(0);
-        replay.submit(&SubmitArgs {
-            item: entry.get("item").and_then(Value::as_str).unwrap_or("").to_string(),
-            destination: u32::try_from(field("destination")).unwrap_or(u32::MAX),
-            deadline_ms: field("deadline_ms"),
-            priority: u8::try_from(field("priority")).unwrap_or(u8::MAX),
-        });
+        replay.replay_record(entry).map_err(std::io::Error::other)?;
     }
     let replayed = serde_json::to_string(&replay.snapshot())?;
     assert_eq!(replayed, line.trim(), "sequential replay must match the live snapshot");
