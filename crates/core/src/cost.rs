@@ -168,6 +168,9 @@ impl DestinationCost {
         if !satisfiable {
             return DestinationCost { satisfiable: false, effective_priority: 0.0, urgency: 0.0 };
         }
+        // Saturating is sound here (audited): `arrival <= deadline` is
+        // guaranteed by the guard above, so the subtraction never actually
+        // saturates — the slack is exact even at deadline = SimTime::MAX.
         let slack_secs = deadline.saturating_since(arrival).as_secs_f64();
         DestinationCost {
             satisfiable: true,
@@ -255,6 +258,23 @@ mod tests {
     fn ingredients_for_unreachable_are_zero() {
         let d = DestinationCost::new(SimTime::MAX, t(40), 100);
         assert!(!d.satisfiable);
+    }
+
+    #[test]
+    fn ingredients_near_time_max_stay_exact() {
+        // Regression guard for the saturating-subtraction audit: an open
+        // deadline (SimTime::MAX) with a finite arrival yields the exact
+        // (astronomical but finite) slack, and an unreachable arrival at
+        // MAX stays unsatisfiable rather than producing zero urgency by
+        // saturation.
+        let d = DestinationCost::new(t(10), SimTime::MAX, 100);
+        assert!(d.satisfiable);
+        let expected = SimTime::MAX.saturating_since(t(10)).as_secs_f64();
+        assert_eq!(d.urgency, -expected);
+        assert!(d.urgency.is_finite() && d.urgency < 0.0);
+        let unreachable = DestinationCost::new(SimTime::MAX, SimTime::MAX, 100);
+        assert!(!unreachable.satisfiable);
+        assert_eq!(unreachable.urgency, 0.0);
     }
 
     #[test]

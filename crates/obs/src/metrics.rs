@@ -1,0 +1,420 @@
+//! The fixed metric inventory and its Prometheus text exposition.
+//!
+//! Every metric the system records is a `static` here, grouped by the
+//! four instrumented layers (`service`, `resources`, `path`, `sim`).
+//! Instrumented crates increment the statics directly — no registration,
+//! no lookup, no allocation on the hot path. [`render_prometheus`]
+//! renders the whole table in declaration order, so equal states always
+//! produce byte-identical exposition text.
+
+use crate::instruments::{Counter, Gauge, Histogram};
+
+/// Upper bucket bounds shared by every latency/wall-time histogram, in
+/// microseconds (mirrors the service's submit-latency buckets).
+pub const LATENCY_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+// --- service layer (admission engine + daemon dispatch) ---------------
+
+/// Admission decisions made (one per non-deduplicated submission).
+pub static SERVICE_DECISIONS: Counter = Counter::new();
+/// Submissions admitted.
+pub static SERVICE_ADMITTED: Counter = Counter::new();
+/// Submissions refused.
+pub static SERVICE_REFUSED: Counter = Counter::new();
+/// Disturbance injections processed.
+pub static SERVICE_INJECTIONS: Counter = Counter::new();
+/// Requests displaced by disturbances (before repair triage).
+pub static SERVICE_DISPLACED: Counter = Counter::new();
+/// Displaced requests re-admitted on a surviving route.
+pub static SERVICE_REPAIRS: Counter = Counter::new();
+/// Displaced requests no surviving route could satisfy.
+pub static SERVICE_EVICTIONS: Counter = Counter::new();
+/// Depth of the displaced queue at the most recent repair.
+pub static SERVICE_DISPLACED_DEPTH: Gauge = Gauge::new();
+/// Wall latency of `submit` dispatches.
+pub static SERVICE_VERB_SUBMIT_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Wall latency of `query` dispatches.
+pub static SERVICE_VERB_QUERY_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Wall latency of `inject` dispatches.
+pub static SERVICE_VERB_INJECT_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Wall latency of `snapshot` dispatches.
+pub static SERVICE_VERB_SNAPSHOT_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Wall latency of `metrics` and `trace` dispatches.
+pub static SERVICE_VERB_METRICS_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+
+// --- resources layer (ledger, busy intervals, capacity timelines) -----
+
+/// Reservation probes (`NetworkLedger::earliest_transfer` calls).
+pub static RESOURCES_PROBES: Counter = Counter::new();
+/// Probe restarts forced by storage contention (the probe loop re-seeding
+/// the link gap search at a later storage-feasible start).
+pub static RESOURCES_PROBE_RESTARTS: Counter = Counter::new();
+/// Gap-search loop iterations (`BusyIntervals::earliest_gap`).
+pub static RESOURCES_GAP_ITERATIONS: Counter = Counter::new();
+/// Capacity-peak scans (`CapacityTimeline::peak_usage` calls).
+pub static RESOURCES_PEAK_SCANS: Counter = Counter::new();
+/// Transfers committed into the ledger.
+pub static RESOURCES_COMMITS: Counter = Counter::new();
+
+// --- path layer (earliest-arrival Dijkstra) ---------------------------
+
+/// Earliest-arrival trees computed.
+pub static PATH_TREES: Counter = Counter::new();
+/// Edge relaxations attempted (one per outgoing-link probe).
+pub static PATH_RELAXATIONS: Counter = Counter::new();
+/// Heap pushes (sources plus label improvements).
+pub static PATH_HEAP_PUSHES: Counter = Counter::new();
+/// Stale heap entries popped and skipped.
+pub static PATH_STALE_POPS: Counter = Counter::new();
+
+// --- sim layer (sweep executor) ---------------------------------------
+
+/// Work units executed by the sweep pool.
+pub static SIM_WORK_UNITS: Counter = Counter::new();
+/// Per-work-unit wall time.
+pub static SIM_WORK_UNIT_WALL_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Time a work unit waited in the pool queue before a worker picked it
+/// up.
+pub static SIM_QUEUE_WAIT_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+
+/// What kind of instrument a [`MetricDef`] points at.
+#[derive(Debug, Clone, Copy)]
+pub enum MetricKind {
+    /// A monotone counter.
+    Counter(&'static Counter),
+    /// A point-in-time gauge.
+    Gauge(&'static Gauge),
+    /// A fixed-bucket histogram.
+    Histogram(&'static Histogram),
+}
+
+/// One row of the metric inventory.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Prometheus family name (series sharing a family share the name and
+    /// differ by `label`).
+    pub name: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+    /// Instrumented layer: `service`, `resources`, `path`, or `sim`.
+    pub layer: &'static str,
+    /// Optional `key="value"` label distinguishing series in a family.
+    pub label: Option<(&'static str, &'static str)>,
+    /// The instrument backing the row.
+    pub kind: MetricKind,
+}
+
+/// The complete inventory, in exposition order.
+#[must_use]
+pub fn registry() -> &'static [MetricDef] {
+    use MetricKind::{Counter, Gauge, Histogram};
+    static REGISTRY: &[MetricDef] = &[
+        MetricDef {
+            name: "dstage_service_decisions_total",
+            help: "Admission decisions made (admitted + refused)",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_DECISIONS),
+        },
+        MetricDef {
+            name: "dstage_service_admitted_total",
+            help: "Submissions admitted",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_ADMITTED),
+        },
+        MetricDef {
+            name: "dstage_service_refused_total",
+            help: "Submissions refused",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_REFUSED),
+        },
+        MetricDef {
+            name: "dstage_service_injections_total",
+            help: "Disturbance injections processed",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_INJECTIONS),
+        },
+        MetricDef {
+            name: "dstage_service_displaced_total",
+            help: "Requests displaced by disturbances (repairs + evictions)",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_DISPLACED),
+        },
+        MetricDef {
+            name: "dstage_service_repairs_total",
+            help: "Displaced requests re-admitted on a surviving route",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_REPAIRS),
+        },
+        MetricDef {
+            name: "dstage_service_evictions_total",
+            help: "Displaced requests with no surviving route",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_EVICTIONS),
+        },
+        MetricDef {
+            name: "dstage_service_displaced_queue_depth",
+            help: "Depth of the displaced queue at the most recent repair",
+            layer: "service",
+            label: None,
+            kind: Gauge(&SERVICE_DISPLACED_DEPTH),
+        },
+        MetricDef {
+            name: "dstage_service_verb_latency_us",
+            help: "Wall latency of request dispatch by verb, microseconds",
+            layer: "service",
+            label: Some(("verb", "submit")),
+            kind: Histogram(&SERVICE_VERB_SUBMIT_US),
+        },
+        MetricDef {
+            name: "dstage_service_verb_latency_us",
+            help: "Wall latency of request dispatch by verb, microseconds",
+            layer: "service",
+            label: Some(("verb", "query")),
+            kind: Histogram(&SERVICE_VERB_QUERY_US),
+        },
+        MetricDef {
+            name: "dstage_service_verb_latency_us",
+            help: "Wall latency of request dispatch by verb, microseconds",
+            layer: "service",
+            label: Some(("verb", "inject")),
+            kind: Histogram(&SERVICE_VERB_INJECT_US),
+        },
+        MetricDef {
+            name: "dstage_service_verb_latency_us",
+            help: "Wall latency of request dispatch by verb, microseconds",
+            layer: "service",
+            label: Some(("verb", "snapshot")),
+            kind: Histogram(&SERVICE_VERB_SNAPSHOT_US),
+        },
+        MetricDef {
+            name: "dstage_service_verb_latency_us",
+            help: "Wall latency of request dispatch by verb, microseconds",
+            layer: "service",
+            label: Some(("verb", "metrics")),
+            kind: Histogram(&SERVICE_VERB_METRICS_US),
+        },
+        MetricDef {
+            name: "dstage_resources_probes_total",
+            help: "Reservation probes (earliest_transfer calls)",
+            layer: "resources",
+            label: None,
+            kind: Counter(&RESOURCES_PROBES),
+        },
+        MetricDef {
+            name: "dstage_resources_probe_restarts_total",
+            help: "Probe restarts forced by storage contention",
+            layer: "resources",
+            label: None,
+            kind: Counter(&RESOURCES_PROBE_RESTARTS),
+        },
+        MetricDef {
+            name: "dstage_resources_gap_iterations_total",
+            help: "Gap-search loop iterations (earliest_gap)",
+            layer: "resources",
+            label: None,
+            kind: Counter(&RESOURCES_GAP_ITERATIONS),
+        },
+        MetricDef {
+            name: "dstage_resources_peak_scans_total",
+            help: "Capacity-peak scans (peak_usage calls)",
+            layer: "resources",
+            label: None,
+            kind: Counter(&RESOURCES_PEAK_SCANS),
+        },
+        MetricDef {
+            name: "dstage_resources_commits_total",
+            help: "Transfers committed into the ledger",
+            layer: "resources",
+            label: None,
+            kind: Counter(&RESOURCES_COMMITS),
+        },
+        MetricDef {
+            name: "dstage_path_trees_total",
+            help: "Earliest-arrival trees computed",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_TREES),
+        },
+        MetricDef {
+            name: "dstage_path_relaxations_total",
+            help: "Edge relaxations attempted",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_RELAXATIONS),
+        },
+        MetricDef {
+            name: "dstage_path_heap_pushes_total",
+            help: "Heap pushes (sources plus label improvements)",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_HEAP_PUSHES),
+        },
+        MetricDef {
+            name: "dstage_path_stale_pops_total",
+            help: "Stale heap entries popped and skipped",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_STALE_POPS),
+        },
+        MetricDef {
+            name: "dstage_sim_work_units_total",
+            help: "Sweep work units executed",
+            layer: "sim",
+            label: None,
+            kind: Counter(&SIM_WORK_UNITS),
+        },
+        MetricDef {
+            name: "dstage_sim_work_unit_wall_us",
+            help: "Per-work-unit wall time, microseconds",
+            layer: "sim",
+            label: None,
+            kind: Histogram(&SIM_WORK_UNIT_WALL_US),
+        },
+        MetricDef {
+            name: "dstage_sim_queue_wait_us",
+            help: "Pool queue wait before a worker picked the unit up, microseconds",
+            layer: "sim",
+            label: None,
+            kind: Histogram(&SIM_QUEUE_WAIT_US),
+        },
+    ];
+    REGISTRY
+}
+
+/// Zeroes every instrument in the inventory (test/profile isolation).
+pub fn reset_all() {
+    for def in registry() {
+        match def.kind {
+            MetricKind::Counter(c) => c.reset(),
+            MetricKind::Gauge(g) => g.reset(),
+            MetricKind::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// Renders the inventory as Prometheus text exposition (format 0.0.4).
+///
+/// `# HELP`/`# TYPE` headers are emitted once per family; series render
+/// in declaration order, so equal instrument states yield byte-identical
+/// text.
+#[must_use]
+pub fn render_prometheus() -> String {
+    let mut out = String::with_capacity(4096);
+    let mut last_family = "";
+    for def in registry() {
+        if def.name != last_family {
+            let kind = match def.kind {
+                MetricKind::Counter(_) => "counter",
+                MetricKind::Gauge(_) => "gauge",
+                MetricKind::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} {}\n",
+                def.name, def.help, def.name, kind
+            ));
+            last_family = def.name;
+        }
+        let label = |extra: Option<(&str, String)>| -> String {
+            let mut parts = Vec::new();
+            if let Some((k, v)) = def.label {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        match def.kind {
+            MetricKind::Counter(c) => {
+                out.push_str(&format!("{}{} {}\n", def.name, label(None), c.get()));
+            }
+            MetricKind::Gauge(g) => {
+                out.push_str(&format!("{}{} {}\n", def.name, label(None), g.get()));
+            }
+            MetricKind::Histogram(h) => {
+                let snap = h.snapshot();
+                let mut cumulative = 0u64;
+                for (i, &count) in snap.buckets.iter().enumerate() {
+                    cumulative += count;
+                    let le =
+                        snap.bounds.get(i).map_or_else(|| "+Inf".to_string(), ToString::to_string);
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        def.name,
+                        label(Some(("le", le))),
+                        cumulative
+                    ));
+                }
+                out.push_str(&format!("{}_sum{} {}\n", def.name, label(None), snap.sum));
+                out.push_str(&format!("{}_count{} {}\n", def.name, label(None), snap.count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_spans_four_layers_with_enough_series() {
+        let defs = registry();
+        let layers: BTreeSet<&str> = defs.iter().map(|d| d.layer).collect();
+        assert_eq!(
+            layers.into_iter().collect::<Vec<_>>(),
+            vec!["path", "resources", "service", "sim"]
+        );
+        // Distinct series = (family, label) pairs; the acceptance bar is
+        // at least 12 across all four layers.
+        let series: BTreeSet<(&str, Option<(&str, &str)>)> =
+            defs.iter().map(|d| (d.name, d.label)).collect();
+        assert!(series.len() >= 12, "only {} series", series.len());
+        assert_eq!(series.len(), defs.len(), "duplicate (family, label) rows");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_well_formed() {
+        let a = render_prometheus();
+        let b = render_prometheus();
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE dstage_service_decisions_total counter"));
+        assert!(a.contains("# TYPE dstage_service_verb_latency_us histogram"));
+        assert!(a.contains("dstage_service_verb_latency_us_bucket{verb=\"submit\",le=\"50\"}"));
+        assert!(a.contains("dstage_sim_work_unit_wall_us_bucket{le=\"+Inf\"}"));
+        assert!(a.contains("dstage_path_heap_pushes_total"));
+        assert!(a.contains("dstage_resources_gap_iterations_total"));
+        // HELP/TYPE emitted once per family, not once per labeled series.
+        assert_eq!(a.matches("# TYPE dstage_service_verb_latency_us histogram").count(), 1);
+    }
+
+    #[cfg(feature = "tap")]
+    #[test]
+    fn histogram_buckets_render_cumulatively() {
+        crate::set_enabled(true);
+        SIM_QUEUE_WAIT_US.reset();
+        SIM_QUEUE_WAIT_US.record(10);
+        SIM_QUEUE_WAIT_US.record(60);
+        let text = render_prometheus();
+        assert!(text.contains("dstage_sim_queue_wait_us_bucket{le=\"50\"} 1"));
+        assert!(text.contains("dstage_sim_queue_wait_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("dstage_sim_queue_wait_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dstage_sim_queue_wait_us_count 2"));
+        SIM_QUEUE_WAIT_US.reset();
+    }
+}

@@ -66,17 +66,26 @@ pub fn earliest_arrival_tree(query: &ItemQuery<'_>) -> ArrivalTree {
     // Min-heap on (arrival, machine id) for deterministic tie-breaking.
     let mut heap: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
 
+    // Tallied locally and published once per tree: this is the system's
+    // innermost loop, so the tap costs four fetch_adds per tree, not per
+    // relaxation.
+    let mut heap_pushes: u64 = 0;
+    let mut stale_pops: u64 = 0;
+    let mut relaxations: u64 = 0;
+
     for &(machine, available_at) in query.sources {
         let slot = &mut arrivals[machine.index()];
         if available_at < *slot {
             *slot = available_at;
             hops[machine.index()] = None;
             heap.push(Reverse((available_at, machine.index() as u32)));
+            heap_pushes += 1;
         }
     }
 
     while let Some(Reverse((ready, u_idx))) = heap.pop() {
         if ready > arrivals[u_idx as usize] {
+            stale_pops += 1;
             continue; // stale heap entry
         }
         let u = MachineId::new(u_idx);
@@ -88,6 +97,7 @@ pub fn earliest_arrival_tree(query: &ItemQuery<'_>) -> ArrivalTree {
                 // `ready`, and v is already at least that early.
                 continue;
             }
+            relaxations += 1;
             let hold = query.hold_until[v.index()];
             let Some(slot) =
                 query.ledger.earliest_transfer(query.network, link_id, ready, query.size, hold)
@@ -104,9 +114,15 @@ pub fn earliest_arrival_tree(query: &ItemQuery<'_>) -> ArrivalTree {
                     arrival: slot.arrival,
                 });
                 heap.push(Reverse((slot.arrival, v.index() as u32)));
+                heap_pushes += 1;
             }
         }
     }
+
+    dstage_obs::metrics::PATH_TREES.inc();
+    dstage_obs::metrics::PATH_RELAXATIONS.add(relaxations);
+    dstage_obs::metrics::PATH_HEAP_PUSHES.add(heap_pushes);
+    dstage_obs::metrics::PATH_STALE_POPS.add(stale_pops);
 
     ArrivalTree::new(arrivals, hops)
 }

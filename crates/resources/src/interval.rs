@@ -159,17 +159,23 @@ impl BusyIntervals {
         }
         fits(candidate)?;
         let mut idx = self.spans.partition_point(|&(_, e)| e <= candidate);
-        loop {
-            let end = fits(candidate)?;
+        // Count iterations locally and publish once: this loop sits inside
+        // every routing probe, so per-iteration atomics would be felt.
+        let mut iterations: u64 = 0;
+        let found = loop {
+            iterations += 1;
+            let Some(end) = fits(candidate) else { break None };
             match self.spans.get(idx) {
                 Some(&(s, e)) if s < end => {
                     // Overlaps this busy span; try right after it.
                     candidate = e;
                     idx += 1;
                 }
-                _ => return Some(candidate),
+                _ => break Some(candidate),
             }
-        }
+        };
+        dstage_obs::metrics::RESOURCES_GAP_ITERATIONS.add(iterations);
+        found
     }
 
     /// The maximal free gaps within `[from, to)`, in time order.
@@ -212,6 +218,10 @@ impl BusyIntervals {
     }
 
     /// Total busy time.
+    ///
+    /// Saturating is sound here (audited): spans satisfy `e >= s`, so each
+    /// term is exact, and the sum is purely diagnostic — it bounds no
+    /// admission decision, so saturation cannot sneak past a check.
     #[must_use]
     pub fn total_busy(&self) -> SimDuration {
         self.spans

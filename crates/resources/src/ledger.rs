@@ -166,6 +166,7 @@ impl NetworkLedger {
         size: Bytes,
         hold_until: SimTime,
     ) -> Option<TransferSlot> {
+        dstage_obs::metrics::RESOURCES_PROBES.inc();
         let vl: &VirtualLink = network.link(link);
         let duration = vl.transfer_time(size);
         let busy = &self.links[link.index()];
@@ -175,6 +176,8 @@ impl NetworkLedger {
         let mut candidate = ready.max(vl.start());
         loop {
             let start = busy.earliest_gap(candidate, duration, limit)?;
+            // Safe unchecked add (audited): `earliest_gap` only returns
+            // starts whose checked `start + duration` fits below `limit`.
             let arrival = start + duration;
             // The copy occupies the receiver from transfer start to its
             // hold deadline (at least through arrival).
@@ -184,6 +187,7 @@ impl NetworkLedger {
                 return Some(TransferSlot { start, arrival });
             }
             debug_assert!(storage_start > start);
+            dstage_obs::metrics::RESOURCES_PROBE_RESTARTS.inc();
             candidate = storage_start;
         }
     }
@@ -209,7 +213,14 @@ impl NetworkLedger {
     ) -> Result<TransferSlot, CommitError> {
         let vl: &VirtualLink = network.link(link);
         let duration = vl.transfer_time(size);
-        let arrival = start + duration;
+        // Checked, not unchecked (audit fix): commit takes a caller-supplied
+        // `start`, so `start + duration` can exceed SimTime::MAX. A wrapped
+        // (release) or saturated arrival could falsely pass `arrival <=
+        // vl.end()` for an open-ended window and commit a transfer whose
+        // true completion lies beyond the representable horizon.
+        let Some(arrival) = start.checked_add(duration) else {
+            return Err(CommitError::OutsideWindow { link });
+        };
         if start < vl.start() || arrival > vl.end() {
             return Err(CommitError::OutsideWindow { link });
         }
@@ -229,6 +240,7 @@ impl NetworkLedger {
         self.stores[dest.index()]
             .reserve(size, start, hold_end)
             .expect("checked with can_hold above");
+        dstage_obs::metrics::RESOURCES_COMMITS.inc();
         Ok(TransferSlot { start, arrival })
     }
 
@@ -289,6 +301,10 @@ impl NetworkLedger {
     }
 
     /// The total busy time across all links, a utilization diagnostic.
+    ///
+    /// Saturating is sound here (audited): the value is reported, never
+    /// compared against a feasibility bound, so saturation cannot admit
+    /// anything.
     #[must_use]
     pub fn total_link_busy(&self) -> SimDuration {
         self.links.iter().fold(SimDuration::ZERO, |acc, b| acc.saturating_add(b.total_busy()))
@@ -366,6 +382,30 @@ mod tests {
         let slot =
             ledger.earliest_transfer(&net, l, t(0), Bytes::new(100_000), SimTime::MAX).unwrap();
         assert_eq!(slot.arrival, t(100));
+    }
+
+    #[test]
+    fn commit_near_time_max_rejects_overflowing_arrival() {
+        // Regression: with an open-ended window (end = SimTime::MAX) and a
+        // caller-supplied start near SimTime::MAX, `start + duration` used
+        // to wrap (release) or panic (debug), and a wrapped arrival could
+        // falsely pass the `arrival <= vl.end()` window check.
+        let mut b = NetworkBuilder::new();
+        let a = b.add_machine(Machine::new("a", Bytes::from_mib(1)));
+        let c = b.add_machine(Machine::new("c", Bytes::from_mib(1)));
+        let l =
+            b.add_link(VirtualLink::new(a, c, SimTime::ZERO, SimTime::MAX, BitsPerSec::new(8_000)));
+        let net = b.build();
+        let mut ledger = NetworkLedger::new(&net);
+        // 5_000 bytes takes 5 s on this link; a start 1 ms before MAX
+        // cannot complete inside representable time.
+        let start = SimTime::from_millis(u64::MAX - 1);
+        let err = ledger.commit_transfer(&net, l, start, Bytes::new(5_000), SimTime::MAX);
+        assert!(matches!(err, Err(CommitError::OutsideWindow { .. })));
+        // A start that exactly reaches MAX still commits.
+        let start = SimTime::from_millis(u64::MAX - 5_000);
+        let slot = ledger.commit_transfer(&net, l, start, Bytes::new(5_000), SimTime::MAX).unwrap();
+        assert_eq!(slot.arrival, SimTime::MAX);
     }
 
     #[test]

@@ -32,7 +32,11 @@ use serde::{Deserialize, Serialize};
 pub struct CapacityTimeline {
     capacity: Bytes,
     /// Sorted by time; `(t, delta)` means usage changes by `delta` at `t`.
-    /// Deltas are never zero and times are unique.
+    /// Deltas are never zero. Times are usually unique, but a reservation
+    /// larger than `i64::MAX` bytes (or a same-instant merge that would
+    /// overflow `i64`) is stored as several same-time entries whose deltas
+    /// sum to the true change — readers fold every event at an instant, so
+    /// only the per-instant sum matters.
     events: Vec<(SimTime, i64)>,
 }
 
@@ -77,33 +81,37 @@ impl CapacityTimeline {
     /// Usage at an instant.
     #[must_use]
     pub fn used_at(&self, t: SimTime) -> Bytes {
-        let mut used: i64 = 0;
+        // i128 accumulation: the level can legitimately exceed i64::MAX
+        // (capacity is a u64, and force_reserve can overcommit past even
+        // that), and i128 cannot overflow from any realizable event count.
+        let mut used: i128 = 0;
         for &(et, delta) in &self.events {
             if et > t {
                 break;
             }
-            used += delta;
+            used += i128::from(delta);
         }
-        Bytes::new(u64::try_from(used).expect("usage invariant: never negative"))
+        level_bytes(used)
     }
 
     /// Peak usage over `[from, until)`; zero for an empty span.
     #[must_use]
     pub fn peak_usage(&self, from: SimTime, until: SimTime) -> Bytes {
+        dstage_obs::metrics::RESOURCES_PEAK_SCANS.inc();
         if from >= until {
             return Bytes::ZERO;
         }
         // The usage level is piecewise constant, so the peak over the span
         // is the level entering the span (`base`) or the level after some
         // event strictly inside it.
-        let mut used: i64 = 0;
-        let mut base: i64 = 0;
-        let mut peak: i64 = 0;
+        let mut used: i128 = 0;
+        let mut base: i128 = 0;
+        let mut peak: i128 = 0;
         for &(et, delta) in &self.events {
             if et >= until {
                 break;
             }
-            used += delta;
+            used += i128::from(delta);
             if et <= from {
                 base = used;
             } else {
@@ -111,7 +119,7 @@ impl CapacityTimeline {
             }
         }
         peak = peak.max(base);
-        Bytes::new(u64::try_from(peak).expect("usage invariant: never negative"))
+        level_bytes(peak)
     }
 
     /// Whether `size` additional bytes fit throughout `[from, until)`.
@@ -147,22 +155,23 @@ impl CapacityTimeline {
         if size == Bytes::ZERO {
             return Some(from);
         }
-        let budget = self.capacity.saturating_sub(size);
         if size > self.capacity {
             return None;
         }
+        // Guarded above: size <= capacity, so this subtraction is exact.
+        let budget = self.capacity.saturating_sub(size);
         // Scan events inside [from, until); find the last moment the level
         // exceeds `budget`. The earliest feasible start is the first event
         // after that moment where the level drops to <= budget.
-        let mut level: i64 = 0;
+        let mut level: i128 = 0;
         let mut candidate = from;
         let mut feasible_from_candidate = true;
         for &(et, delta) in &self.events {
             if et >= until {
                 break;
             }
-            level += delta;
-            let over = u64::try_from(level).expect("usage never negative") > budget.as_u64();
+            level += i128::from(delta);
+            let over = level_bytes(level).as_u64() > budget.as_u64();
             if et <= from {
                 feasible_from_candidate = !over;
                 continue;
@@ -203,9 +212,7 @@ impl CapacityTimeline {
         if !fits {
             return Err(CapacityExceeded { at: from, used: peak, capacity: self.capacity });
         }
-        let amount = i64::try_from(size.as_u64()).expect("sizes fit in i64");
-        self.apply_delta(from, amount);
-        self.apply_delta(until, -amount);
+        self.apply_span(size, from, until);
         Ok(())
     }
 
@@ -221,22 +228,51 @@ impl CapacityTimeline {
         if from >= until || size == Bytes::ZERO {
             return;
         }
-        let amount = i64::try_from(size.as_u64()).expect("sizes fit in i64");
-        self.apply_delta(from, amount);
-        self.apply_delta(until, -amount);
+        self.apply_span(size, from, until);
+    }
+
+    /// Applies `+size` at `from` and `-size` at `until`, chunking sizes
+    /// above `i64::MAX` into several balanced i64 deltas. This is where
+    /// reservations beyond `i64::MAX` bytes used to panic through
+    /// `i64::try_from(..).expect("sizes fit in i64")` — a malformed
+    /// scenario could kill the daemon.
+    fn apply_span(&mut self, size: Bytes, from: SimTime, until: SimTime) {
+        let mut remaining = size.as_u64();
+        while remaining > 0 {
+            let chunk = remaining.min(i64::MAX as u64);
+            remaining -= chunk;
+            let amount = i64::try_from(chunk).expect("chunk clamped to i64::MAX");
+            self.apply_delta(from, amount);
+            self.apply_delta(until, -amount);
+        }
     }
 
     fn apply_delta(&mut self, t: SimTime, delta: i64) {
         match self.events.binary_search_by_key(&t, |&(et, _)| et) {
-            Ok(idx) => {
-                self.events[idx].1 += delta;
-                if self.events[idx].1 == 0 {
+            Ok(idx) => match self.events[idx].1.checked_add(delta) {
+                Some(0) => {
                     self.events.remove(idx);
                 }
-            }
+                Some(merged) => self.events[idx].1 = merged,
+                // The merged delta would overflow i64: keep a second entry
+                // at the same instant instead of wrapping. Readers fold
+                // every event at an instant, so only the sum matters.
+                None => self.events.insert(idx + 1, (t, delta)),
+            },
             Err(idx) => self.events.insert(idx, (t, delta)),
         }
     }
+}
+
+/// Converts an accumulated usage level to [`Bytes`].
+///
+/// The level must be non-negative (reservations and releases are applied
+/// in balanced pairs); force-reserve overcommit can push it past
+/// `u64::MAX`, which clamps — capacity is a `u64`, so anything above
+/// `u64::MAX` fails every capacity check identically.
+fn level_bytes(level: i128) -> Bytes {
+    assert!(level >= 0, "usage invariant: never negative (level {level})");
+    Bytes::new(u64::try_from(level).unwrap_or(u64::MAX))
 }
 
 #[cfg(test)]
@@ -388,6 +424,52 @@ mod tests {
         assert_eq!(tl.peak_usage(t(6), t(10)), Bytes::ZERO);
         assert!(tl.can_hold(kb(10), t(6), t(10)));
         assert_eq!(tl.peak_usage(t(5), t(10)), Bytes::ZERO); // releases exactly at 5
+    }
+
+    #[test]
+    fn reserve_beyond_i64_max_does_not_panic() {
+        // Regression: sizes above i64::MAX bytes used to panic in
+        // `i64::try_from(size.as_u64()).expect("sizes fit in i64")`.
+        let huge = Bytes::new(u64::MAX);
+        let mut tl = CapacityTimeline::new(huge);
+        tl.reserve(huge, t(10), t(20)).unwrap();
+        assert_eq!(tl.used_at(t(10)), huge);
+        assert_eq!(tl.used_at(t(15)), huge);
+        assert!(!tl.can_hold(Bytes::new(1), t(10), t(20)));
+        assert_eq!(tl.used_at(t(20)), Bytes::ZERO);
+        // The release balanced the chunked deltas exactly.
+        assert!(tl.can_hold(huge, t(20), t(30)));
+        // And a second huge reservation over the freed span still works.
+        tl.reserve(huge, t(20), t(30)).unwrap();
+        assert_eq!(tl.peak_usage(t(20), t(30)), huge);
+    }
+
+    #[test]
+    fn force_reserve_beyond_i64_max_overcommits_and_releases() {
+        // Regression: force_reserve had the same i64 conversion panic, and
+        // stacked overcommits can push the level past u64::MAX.
+        let huge = Bytes::new(u64::MAX);
+        let mut tl = CapacityTimeline::new(kb(1));
+        tl.force_reserve(huge, t(0), t(50));
+        tl.force_reserve(huge, t(10), t(40));
+        // Level is ~2 * u64::MAX; reads clamp to u64::MAX.
+        assert_eq!(tl.used_at(t(20)), huge);
+        assert!(!tl.can_hold(Bytes::new(1), t(20), t(30)));
+        // Releases unwind the overcommit exactly.
+        assert_eq!(tl.used_at(t(40)), huge);
+        assert_eq!(tl.used_at(t(50)), Bytes::ZERO);
+        assert!(tl.can_hold(kb(1), t(50), t(60)));
+    }
+
+    #[test]
+    fn earliest_hold_start_with_huge_capacity() {
+        // i128 accumulation: levels above i64::MAX must not overflow the
+        // feasibility scan.
+        let huge = Bytes::new(u64::MAX);
+        let mut tl = CapacityTimeline::new(huge);
+        tl.reserve(huge, t(0), t(30)).unwrap();
+        assert_eq!(tl.earliest_hold_start(Bytes::new(1), t(0), t(60)), Some(t(30)));
+        assert_eq!(tl.earliest_hold_start(huge, t(0), t(60)), Some(t(30)));
     }
 
     #[test]

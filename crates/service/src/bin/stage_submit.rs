@@ -8,7 +8,8 @@
 //!   query --request N
 //!   inject --at-ms T (--link L | --item NAME --machine M)
 //!   snapshot
-//!   metrics
+//!   metrics [--prometheus]
+//!   trace [--limit N]
 //!   shutdown
 //! ```
 //!
@@ -63,6 +64,8 @@ fn parse_args() -> Result<Options, String> {
     let mut timeout_ms: u64 = 5_000;
     let mut retries: u32 = 2;
     let mut retry_seed: u64 = 0;
+    let mut prometheus = false;
+    let mut limit: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,6 +86,8 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--retries out of range".to_string())?;
             }
             "--retry-seed" => retry_seed = parse_number(args.next(), "--retry-seed")?,
+            "--prometheus" => prometheus = true,
+            "--limit" => limit = Some(parse_number(args.next(), "--limit")?),
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other if verb.is_none() => verb = Some(other.to_string()),
@@ -139,7 +144,12 @@ fn parse_args() -> Result<Options, String> {
             }
         }
         Some("snapshot") => r#"{"verb":"snapshot"}"#.to_string(),
+        Some("metrics") if prometheus => r#"{"verb":"metrics","format":"prometheus"}"#.to_string(),
         Some("metrics") => r#"{"verb":"metrics"}"#.to_string(),
+        Some("trace") => match limit {
+            Some(limit) => format!(r#"{{"verb":"trace","limit":{limit}}}"#),
+            None => r#"{"verb":"trace"}"#.to_string(),
+        },
         Some("shutdown") => r#"{"verb":"shutdown"}"#.to_string(),
         Some(other) => return Err(format!("unknown verb {other:?}")),
         None => return Err("a verb is required".to_string()),
@@ -257,7 +267,7 @@ fn main() -> ExitCode {
                  (submit --item NAME --dest M --deadline-ms T [--priority P] [--key K] \
                  | query --request N \
                  | inject --at-ms T (--link L | --item NAME --machine M) \
-                 | snapshot | metrics | shutdown)"
+                 | snapshot | metrics [--prometheus] | trace [--limit N] | shutdown)"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }

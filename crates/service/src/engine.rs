@@ -272,7 +272,14 @@ impl AdmissionEngine {
     }
 
     fn decide(&mut self, args: &SubmitArgs) -> Decision {
-        let reject = |reason: String| Decision::Rejected { reason };
+        // Replayed idempotent submissions return before reaching here, so
+        // the decision ledger counts each unique submission exactly once
+        // (decisions = admitted + refused).
+        dstage_obs::metrics::SERVICE_DECISIONS.inc();
+        let reject = |reason: String| {
+            dstage_obs::metrics::SERVICE_REFUSED.inc();
+            Decision::Rejected { reason }
+        };
         let Some(&item) = self.item_ids.get(args.item.as_str()) else {
             return reject(format!("unknown data item `{}`", args.item));
         };
@@ -309,6 +316,7 @@ impl AdmissionEngine {
                     route,
                 });
                 self.admitted.push(candidate);
+                dstage_obs::metrics::SERVICE_ADMITTED.inc();
                 Decision::Admitted {
                     request: candidate_id,
                     eta: delivery.at,
@@ -406,7 +414,10 @@ impl AdmissionEngine {
             }
         }
         self.now = self.now.max(at);
+        dstage_obs::metrics::SERVICE_INJECTIONS.inc();
         let (cancelled, repaired, evicted) = self.repair();
+        dstage_obs::metrics::SERVICE_REPAIRS.add(repaired.len() as u64);
+        dstage_obs::metrics::SERVICE_EVICTIONS.add(evicted.len() as u64);
         let injection = self.log.len() as u64;
         let response = InjectResponse {
             ok: true,
@@ -462,6 +473,9 @@ impl AdmissionEngine {
             let weight = self.config.priority_weights.weight(self.admitted[id as usize].priority());
             (Reverse(weight), id)
         });
+        dstage_obs::metrics::SERVICE_DISPLACED.add(displaced.len() as u64);
+        dstage_obs::metrics::SERVICE_DISPLACED_DEPTH
+            .set(i64::try_from(displaced.len()).unwrap_or(i64::MAX));
 
         let mut repaired = Vec::new();
         let mut evicted = Vec::new();

@@ -1,9 +1,9 @@
 //! The wire protocol: newline-delimited JSON over TCP.
 //!
 //! Every request is one JSON object per line carrying a `verb` field;
-//! every response is one JSON object per line carrying `ok`. The six
-//! verbs are `submit`, `query`, `inject`, `snapshot`, `metrics`, and
-//! `shutdown`.
+//! every response is one JSON object per line carrying `ok`. The seven
+//! verbs are `submit`, `query`, `inject`, `snapshot`, `metrics`,
+//! `trace`, and `shutdown`.
 //!
 //! `submit` may carry an `idempotency_key`: resubmitting the same key
 //! with the same arguments returns the original decision instead of
@@ -30,9 +30,32 @@ pub enum ClientRequest {
     /// Ask for the full schedule and per-link ledger.
     Snapshot,
     /// Ask for admission counters and the service-latency histogram.
-    Metrics,
+    Metrics {
+        /// Exposition format: the default [`MetricsFormat::Json`]
+        /// structured object, or [`MetricsFormat::Prometheus`] text
+        /// (carried inside the JSON response line as a `text` field —
+        /// the framing stays one line per request).
+        format: MetricsFormat,
+    },
+    /// Ask for the recent flight-recorder window (the newest events
+    /// recorded by the observability tap).
+    Trace {
+        /// Maximum events to return; the server caps it at the recorder
+        /// ring size. Absent means the whole ring.
+        limit: Option<u64>,
+    },
     /// Ask the daemon to stop accepting connections and drain.
     Shutdown,
+}
+
+/// How a `metrics` response is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The structured JSON object (the default).
+    #[default]
+    Json,
+    /// Prometheus text exposition format 0.0.4.
+    Prometheus,
 }
 
 /// Arguments of a `submit` request.
@@ -138,7 +161,28 @@ impl ClientRequest {
                 Ok(ClientRequest::Inject(InjectArgs { kind, at_ms: require_u64(&value, "at_ms")? }))
             }
             "snapshot" => Ok(ClientRequest::Snapshot),
-            "metrics" => Ok(ClientRequest::Metrics),
+            "metrics" => {
+                let format = match optional_str(&value, "format")?.as_deref() {
+                    None | Some("json") => MetricsFormat::Json,
+                    Some("prometheus") => MetricsFormat::Prometheus,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown metrics format `{other}` (expected `json` or `prometheus`)"
+                        ))
+                    }
+                };
+                Ok(ClientRequest::Metrics { format })
+            }
+            "trace" => {
+                let limit =
+                    match value.get("limit") {
+                        None => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            "field `limit` must be an unsigned integer".to_string()
+                        })?),
+                    };
+                Ok(ClientRequest::Trace { limit })
+            }
             "shutdown" => Ok(ClientRequest::Shutdown),
             other => Err(format!("unknown verb `{other}`")),
         }
@@ -319,11 +363,41 @@ mod tests {
             ClientRequest::parse(r#"{"verb":"snapshot"}"#).unwrap(),
             ClientRequest::Snapshot
         );
-        assert_eq!(ClientRequest::parse(r#"{"verb":"metrics"}"#).unwrap(), ClientRequest::Metrics);
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"metrics"}"#).unwrap(),
+            ClientRequest::Metrics { format: MetricsFormat::Json }
+        );
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"trace"}"#).unwrap(),
+            ClientRequest::Trace { limit: None }
+        );
         assert_eq!(
             ClientRequest::parse(r#"{"verb":"shutdown"}"#).unwrap(),
             ClientRequest::Shutdown
         );
+    }
+
+    #[test]
+    fn parses_metrics_formats() {
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"metrics","format":"json"}"#).unwrap(),
+            ClientRequest::Metrics { format: MetricsFormat::Json }
+        );
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"metrics","format":"prometheus"}"#).unwrap(),
+            ClientRequest::Metrics { format: MetricsFormat::Prometheus }
+        );
+        assert!(ClientRequest::parse(r#"{"verb":"metrics","format":"xml"}"#).is_err());
+        assert!(ClientRequest::parse(r#"{"verb":"metrics","format":7}"#).is_err());
+    }
+
+    #[test]
+    fn parses_trace_limits() {
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"trace","limit":16}"#).unwrap(),
+            ClientRequest::Trace { limit: Some(16) }
+        );
+        assert!(ClientRequest::parse(r#"{"verb":"trace","limit":"lots"}"#).is_err());
     }
 
     #[test]

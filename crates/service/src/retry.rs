@@ -46,8 +46,12 @@ impl Backoff {
             .saturating_mul(1u32.checked_shl(self.attempts).unwrap_or(u32::MAX))
             .min(Self::CAP);
         self.attempts += 1;
-        let millis = u64::try_from(exp.as_millis()).unwrap_or(u64::MAX);
-        Some(Duration::from_millis(self.rng.gen_range(millis / 2..=millis)))
+        // Jitter in microseconds, not milliseconds: a sub-millisecond base
+        // used to truncate to an all-zero range and spin the retry loop
+        // hot. The floor of 1µs keeps even a zero base an actual delay.
+        let micros = u64::try_from(exp.as_micros()).unwrap_or(u64::MAX).max(1);
+        let lo = (micros / 2).max(1);
+        Some(Duration::from_micros(self.rng.gen_range(lo..=micros)))
     }
 
     /// Retries handed out so far.
@@ -94,5 +98,32 @@ mod tests {
         let mut b = Backoff::new(1, 0, Duration::from_millis(10));
         assert!(b.next_delay().is_none());
         assert_eq!(b.attempts_used(), 0);
+    }
+
+    #[test]
+    fn sub_millisecond_base_still_backs_off() {
+        // Regression: the jitter range used to be computed in whole
+        // milliseconds, so a 200µs base truncated to [0, 0] and every
+        // delay was zero — a hot retry loop against a struggling server.
+        let mut b = Backoff::new(3, 8, Duration::from_micros(200));
+        let delays: Vec<Duration> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 8);
+        for (n, d) in delays.iter().enumerate() {
+            assert!(!d.is_zero(), "attempt {n} slept zero");
+        }
+        // First attempt draws from [100µs, 200µs].
+        assert!(delays[0] >= Duration::from_micros(100) && delays[0] <= Duration::from_micros(200));
+        // Doubling still reaches the cap eventually.
+        assert!(delays.iter().all(|d| *d <= Backoff::CAP));
+    }
+
+    #[test]
+    fn zero_base_floors_at_one_microsecond() {
+        let mut b = Backoff::new(9, 4, Duration::ZERO);
+        while let Some(d) = b.next_delay() {
+            assert!(!d.is_zero(), "zero base must still yield a nonzero delay");
+            assert!(d <= Duration::from_micros(1));
+        }
+        assert_eq!(b.attempts_used(), 4);
     }
 }

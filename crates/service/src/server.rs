@@ -24,7 +24,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::Value;
 
 use crate::engine::AdmissionEngine;
-use crate::protocol::{response_line, ClientRequest, ErrorResponse};
+use crate::protocol::{response_line, ClientRequest, ErrorResponse, MetricsFormat};
 
 /// Longest accepted request line, in bytes (newline excluded). Anything
 /// longer gets an error response and the connection is dropped — the
@@ -345,12 +345,40 @@ fn read_bounded_line(
     }
 }
 
+/// The observability identity of a verb: flight-recorder event name plus
+/// the latency series it lands in (`trace` and `shutdown` share the
+/// `metrics` series — all three are introspection verbs).
+fn verb_obs(request: &ClientRequest) -> (&'static str, &'static dstage_obs::Histogram) {
+    use dstage_obs::metrics as m;
+    match request {
+        ClientRequest::Submit(_) => ("verb.submit", &m::SERVICE_VERB_SUBMIT_US),
+        ClientRequest::Query { .. } => ("verb.query", &m::SERVICE_VERB_QUERY_US),
+        ClientRequest::Inject(_) => ("verb.inject", &m::SERVICE_VERB_INJECT_US),
+        ClientRequest::Snapshot => ("verb.snapshot", &m::SERVICE_VERB_SNAPSHOT_US),
+        ClientRequest::Metrics { .. } => ("verb.metrics", &m::SERVICE_VERB_METRICS_US),
+        ClientRequest::Trace { .. } => ("verb.trace", &m::SERVICE_VERB_METRICS_US),
+        ClientRequest::Shutdown => ("verb.shutdown", &m::SERVICE_VERB_METRICS_US),
+    }
+}
+
 /// Handles one request line and produces one response line.
 fn dispatch(shared: &Shared, line: &str) -> String {
     let request = match ClientRequest::parse(line) {
         Ok(r) => r,
         Err(message) => return ErrorResponse::line(message),
     };
+    let (event, histogram) = verb_obs(&request);
+    let started = Instant::now();
+    let response = dispatch_parsed(shared, request);
+    if dstage_obs::enabled() {
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        histogram.record(micros);
+        dstage_obs::recorder::record("service", event, 0, micros);
+    }
+    response
+}
+
+fn dispatch_parsed(shared: &Shared, request: ClientRequest) -> String {
     match request {
         ClientRequest::Submit(args) => {
             let start = Instant::now();
@@ -373,7 +401,7 @@ fn dispatch(shared: &Shared, line: &str) -> String {
             Err(message) => ErrorResponse::line(message),
         },
         ClientRequest::Snapshot => value_line(&shared.engine.read().snapshot()),
-        ClientRequest::Metrics => {
+        ClientRequest::Metrics { format: MetricsFormat::Json } => {
             let counters = shared.engine.read().counters();
             let counter_fields = match serde::to_value(&counters) {
                 Ok(Value::Object(fields)) => fields,
@@ -383,6 +411,36 @@ fn dispatch(shared: &Shared, line: &str) -> String {
             fields.extend(counter_fields);
             fields.push(("latency".to_string(), shared.latency.lock().to_value()));
             value_line(&Value::Object(fields))
+        }
+        ClientRequest::Metrics { format: MetricsFormat::Prometheus } => {
+            // The exposition text rides inside the JSON response line —
+            // the protocol framing stays one line per request.
+            value_line(&Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("format".to_string(), Value::String("prometheus".to_string())),
+                ("text".to_string(), Value::String(dstage_obs::metrics::render_prometheus())),
+            ]))
+        }
+        ClientRequest::Trace { limit } => {
+            let limit = limit.map_or(usize::MAX, |l| usize::try_from(l).unwrap_or(usize::MAX));
+            let events = dstage_obs::recorder::recent(limit)
+                .into_iter()
+                .map(|e| {
+                    Value::Object(vec![
+                        ("seq".to_string(), Value::UInt(e.seq)),
+                        ("layer".to_string(), Value::String(e.layer.to_string())),
+                        ("name".to_string(), Value::String(e.name.to_string())),
+                        ("value".to_string(), Value::UInt(e.value)),
+                        ("wall_us".to_string(), Value::UInt(e.wall_us)),
+                    ])
+                })
+                .collect();
+            value_line(&Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("enabled".to_string(), Value::Bool(dstage_obs::enabled())),
+                ("total_recorded".to_string(), Value::UInt(dstage_obs::recorder::total_recorded())),
+                ("events".to_string(), Value::Array(events)),
+            ]))
         }
         ClientRequest::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);

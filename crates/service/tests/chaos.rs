@@ -71,6 +71,56 @@ fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
     (BufReader::new(stream.try_clone().expect("clone stream")), stream)
 }
 
+/// Parses a Prometheus exposition and asserts the chaos-run ledger
+/// identities: every decision is admitted or refused, every displaced
+/// request is repaired or evicted, and all four instrumented layers
+/// expose series.
+fn assert_ledger_consistent(text: &str) {
+    let value = |series: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(series).and_then(|rest| rest.strip_prefix(' ')))
+            .unwrap_or_else(|| panic!("series {series} missing from scrape:\n{text}"))
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("series {series} is not a u64: {e}"))
+    };
+
+    let decisions = value("dstage_service_decisions_total");
+    let admitted = value("dstage_service_admitted_total");
+    let refused = value("dstage_service_refused_total");
+    // Keyed retries dedup before the engine decides, so despite chaos
+    // re-sends there is exactly one decision per unique submission.
+    assert_eq!(decisions, REQUESTS as u64, "one decision per unique submission");
+    assert_eq!(decisions, admitted + refused, "every decision admits or refuses");
+
+    assert_eq!(value("dstage_service_injections_total"), 2, "both disturbances recorded");
+    let displaced = value("dstage_service_displaced_total");
+    let repairs = value("dstage_service_repairs_total");
+    let evictions = value("dstage_service_evictions_total");
+    assert_eq!(displaced, repairs + evictions, "every displaced request is repaired or evicted");
+
+    // Breadth: at least 12 distinct metric families spanning all four
+    // instrumented layers (histogram _bucket/_sum/_count rows fold into
+    // one family).
+    let mut families: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split([' ', '{']).next())
+        .map(|name| {
+            name.strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name)
+        })
+        .collect();
+    families.sort_unstable();
+    families.dedup();
+    assert!(families.len() >= 12, "only {} metric families: {families:?}", families.len());
+    for layer in ["dstage_service_", "dstage_resources_", "dstage_path_", "dstage_sim_"] {
+        assert!(families.iter().any(|f| f.starts_with(layer)), "no {layer}* series in the scrape");
+    }
+}
+
 #[test]
 fn chaotic_run_snapshot_equals_fault_free_replay() {
     let started = Instant::now();
@@ -143,6 +193,15 @@ fn chaotic_run_snapshot_equals_fault_free_replay() {
     // lines, exactly REQUESTS submissions reach the log.
     assert_eq!(snapshot.get("submissions").and_then(Value::as_u64), Some(REQUESTS as u64));
     assert_eq!(snapshot.get("injections").and_then(Value::as_u64), Some(2));
+
+    // Prometheus scrape while the daemon is still up: the observability
+    // ledger must be arithmetically consistent with the chaos run.
+    let scrape =
+        round_trip(&mut reader, &mut writer, r#"{"verb":"metrics","format":"prometheus"}"#);
+    assert_eq!(scrape.get("ok").and_then(Value::as_bool), Some(true), "{scrape:?}");
+    let text = scrape.get("text").and_then(Value::as_str).expect("prometheus text").to_string();
+    assert_ledger_consistent(&text);
+
     let bye = round_trip(&mut reader, &mut writer, r#"{"verb":"shutdown"}"#);
     assert_eq!(bye.get("draining").and_then(Value::as_bool), Some(true));
     drop((reader, writer));

@@ -15,6 +15,8 @@
 //!                 then the machine's available parallelism); results are
 //!                 byte-identical for every thread count
 //!   --quiet       suppress progress logging
+//!   --profile     write per-stage wall times and the observability-tap
+//!                 counters to <out>/PROFILE_sweep.json after the run
 //! ```
 
 use std::io::Write as _;
@@ -31,6 +33,7 @@ struct Options {
     out: PathBuf,
     threads: Option<usize>,
     quiet: bool,
+    profile: bool,
     experiments: Vec<String>,
 }
 
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         out: PathBuf::from("results"),
         threads: None,
         quiet: false,
+        profile: false,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -61,6 +65,7 @@ fn parse_args() -> Result<Options, String> {
                 options.out = PathBuf::from(args.next().ok_or("--out needs a directory")?);
             }
             "--quiet" => options.quiet = true,
+            "--profile" => options.profile = true,
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage
             }
@@ -89,6 +94,72 @@ fn parse_args() -> Result<Options, String> {
         .collect();
     }
     Ok(options)
+}
+
+/// One named stage of the run with its measured wall time.
+struct StageTiming {
+    name: String,
+    wall_ms: u64,
+}
+
+fn elapsed_ms(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Renders the profile JSON: run parameters, per-stage wall times, and
+/// the observability-tap registry (every counter, plus summary stats of
+/// every histogram). Wall times are diagnostic — the profile file is the
+/// one output that is *expected* to differ run to run.
+fn profile_json(options: &Options, threads: usize, stages: &[StageTiming]) -> String {
+    use dstage_obs::metrics::{registry, MetricKind};
+    use serde::Value;
+
+    let stage_values = stages
+        .iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("name".to_string(), Value::String(s.name.clone())),
+                ("wall_ms".to_string(), Value::UInt(s.wall_ms)),
+            ])
+        })
+        .collect();
+
+    let mut layers: Vec<(String, Value)> = Vec::new();
+    for def in registry() {
+        let series_name = match def.label {
+            Some((key, value)) => format!("{}{{{key}=\"{value}\"}}", def.name),
+            None => def.name.to_string(),
+        };
+        let value = match def.kind {
+            MetricKind::Counter(c) => Value::UInt(c.get()),
+            MetricKind::Gauge(g) => Value::Int(g.get()),
+            MetricKind::Histogram(h) => {
+                let snap = h.snapshot();
+                Value::Object(vec![
+                    ("count".to_string(), Value::UInt(snap.count)),
+                    ("sum".to_string(), Value::UInt(snap.sum)),
+                    ("mean".to_string(), Value::UInt(snap.mean())),
+                    ("max".to_string(), Value::UInt(snap.max)),
+                ])
+            }
+        };
+        match layers.iter_mut().find(|(layer, _)| layer == def.layer) {
+            Some((_, Value::Object(entries))) => entries.push((series_name, value)),
+            _ => layers.push((def.layer.to_string(), Value::Object(vec![(series_name, value)]))),
+        }
+    }
+
+    let root = Value::Object(vec![
+        ("scale".to_string(), {
+            Value::String(if options.small { "small" } else { "paper" }.to_string())
+        }),
+        ("cases".to_string(), Value::UInt(options.cases as u64)),
+        ("threads".to_string(), Value::UInt(threads as u64)),
+        ("obs_enabled".to_string(), Value::Bool(dstage_obs::enabled())),
+        ("stages".to_string(), Value::Array(stage_values)),
+        ("metrics".to_string(), Value::Object(layers)),
+    ]);
+    serde_json::to_string_pretty(&root).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
 }
 
 fn run_experiment(name: &str, harness: &Harness, options: &Options) -> Option<ExperimentReport> {
@@ -127,6 +198,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: figures [--cases N] [--small] [--out DIR] [--threads N] [--quiet] \
+                 [--profile] \
                  [fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions fault-tolerance congestion | all]"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
@@ -157,7 +229,11 @@ fn main() -> ExitCode {
             bound_weightings.extend(b);
         }
     }
+    let mut stages: Vec<StageTiming> = Vec::new();
+    let prefetch_started = std::time::Instant::now();
     harness.prefetch(&units, &bound_weightings, threads);
+    stages
+        .push(StageTiming { name: "prefetch".to_string(), wall_ms: elapsed_ms(prefetch_started) });
 
     if let Err(e) = std::fs::create_dir_all(&options.out) {
         eprintln!("error: cannot create {}: {e}", options.out.display());
@@ -188,8 +264,24 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        stages.push(StageTiming { name: name.clone(), wall_ms: elapsed_ms(started) });
         if !options.quiet {
             eprintln!("[figures] {name} done in {:.1?}", started.elapsed());
+        }
+    }
+
+    if options.profile {
+        let path = options.out.join("PROFILE_sweep.json");
+        let json = profile_json(&options, threads, &stages);
+        if let Err(e) = std::fs::File::create(&path).and_then(|mut f| {
+            f.write_all(json.as_bytes())?;
+            f.write_all(b"\n")
+        }) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !options.quiet {
+            eprintln!("[figures] profile -> {}", path.display());
         }
     }
     ExitCode::SUCCESS

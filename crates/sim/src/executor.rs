@@ -10,8 +10,29 @@
 //! `DSTAGE_THREADS` environment variable, which beats the machine's
 //! available parallelism.
 
+use std::time::Instant;
+
 use crossbeam::{channel, thread};
 use parking_lot::Mutex;
+
+/// Runs one work unit under the observability tap: wall time goes to the
+/// per-unit histogram and the flight recorder, the queue-wait histogram
+/// gets the time between pool start and pickup. Pure overhead-free
+/// pass-through when the tap is disabled.
+fn observed<T>(unit: usize, queued_since: Instant, work: impl FnOnce(usize) -> T) -> T {
+    if !dstage_obs::enabled() {
+        return work(unit);
+    }
+    let wait_us = u64::try_from(queued_since.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let started = Instant::now();
+    let result = work(unit);
+    let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    dstage_obs::metrics::SIM_WORK_UNITS.inc();
+    dstage_obs::metrics::SIM_WORK_UNIT_WALL_US.record(wall_us);
+    dstage_obs::metrics::SIM_QUEUE_WAIT_US.record(wait_us);
+    dstage_obs::recorder::record("sim", "work_unit", unit as u64, wall_us);
+    result
+}
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV_VAR: &str = "DSTAGE_THREADS";
@@ -64,8 +85,9 @@ where
         return Vec::new();
     }
     let workers = threads.clamp(1, n_units);
+    let pool_started = Instant::now();
     if workers == 1 {
-        return (0..n_units).map(work).collect();
+        return (0..n_units).map(|i| observed(i, pool_started, &work)).collect();
     }
 
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n_units);
@@ -85,7 +107,7 @@ where
                 let work = &work;
                 scope.spawn(move || {
                     while let Ok(i) = receiver.recv() {
-                        let result = work(i);
+                        let result = observed(i, pool_started, work);
                         slots.lock()[i] = Some(result);
                     }
                 })

@@ -19,7 +19,9 @@
 //!   paper's stated future work);
 //! * [`service`] — the concurrent admission-control daemon: a TCP
 //!   NDJSON protocol (`submit`/`query`/`snapshot`/`metrics`/`shutdown`)
-//!   around a live ledger, with client and load-generator binaries.
+//!   around a live ledger, with client and load-generator binaries;
+//! * [`obs`] — the deterministic observability tap: atomic metric
+//!   registry, Prometheus exposition, and a bounded flight recorder.
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@
 pub use dstage_core as core;
 pub use dstage_dynamic as dynamic;
 pub use dstage_model as model;
+pub use dstage_obs as obs;
 pub use dstage_path as path;
 pub use dstage_resources as resources;
 pub use dstage_service as service;
