@@ -57,25 +57,54 @@ pub enum Heuristic {
     /// §4.7: schedule the paths to *all* satisfiable destinations sharing
     /// the winning step's next machine, then re-plan.
     FullPathAllDestinations,
+    /// Extension (DDCCast): as-late-as-possible placement — commit the
+    /// winning destination's path against the *latest* feasible gaps
+    /// before its deadline, preserving early capacity headroom.
+    Alap,
+    /// Extension (RCD): rapidly-close-to-deadline admission — commit the
+    /// candidate step whose tightest destination has the least deadline
+    /// slack, so near-deadline work is placed first.
+    Rcd,
 }
 
 impl Heuristic {
-    /// All three heuristics, in paper order.
+    /// The paper's three heuristics, in paper order.
     pub const ALL: [Heuristic; 3] = [
         Heuristic::PartialPath,
         Heuristic::FullPathOneDestination,
         Heuristic::FullPathAllDestinations,
     ];
 
+    /// The paper's three heuristics plus the deadline-headroom
+    /// extensions, in figure order.
+    pub const EXTENDED: [Heuristic; 5] = [
+        Heuristic::PartialPath,
+        Heuristic::FullPathOneDestination,
+        Heuristic::FullPathAllDestinations,
+        Heuristic::Alap,
+        Heuristic::Rcd,
+    ];
+
     /// The figure label used in the paper ("partial", "full_one",
-    /// "full_all").
+    /// "full_all") or the extension name ("alap", "rcd").
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Heuristic::PartialPath => "partial",
             Heuristic::FullPathOneDestination => "full_one",
             Heuristic::FullPathAllDestinations => "full_all",
+            Heuristic::Alap => "alap",
+            Heuristic::Rcd => "rcd",
         }
+    }
+
+    /// Parses a scheduler name as printed by [`Heuristic::label`].
+    /// Hyphenated spellings of the underscore labels are accepted too.
+    #[must_use]
+    pub fn from_label(name: &str) -> Option<Heuristic> {
+        Heuristic::EXTENDED
+            .into_iter()
+            .find(|h| h.label() == name || h.label().replace('_', "-") == name)
     }
 
     /// The cost criteria applicable to this heuristic (C1 does not apply
@@ -158,6 +187,8 @@ pub fn drive_state(state: &mut SchedulerState<'_>, heuristic: Heuristic, config:
         Heuristic::PartialPath => crate::partial::drive(state, config),
         Heuristic::FullPathOneDestination => crate::full_one::drive(state, config),
         Heuristic::FullPathAllDestinations => crate::full_all::drive(state, config),
+        Heuristic::Alap => crate::alap::drive(state, config),
+        Heuristic::Rcd => crate::rcd::drive(state, config),
     }
 }
 
@@ -389,6 +420,19 @@ mod tests {
         assert_eq!(Heuristic::PartialPath.to_string(), "partial");
         assert_eq!(Heuristic::FullPathOneDestination.to_string(), "full_one");
         assert_eq!(Heuristic::FullPathAllDestinations.to_string(), "full_all");
+        assert_eq!(Heuristic::Alap.to_string(), "alap");
+        assert_eq!(Heuristic::Rcd.to_string(), "rcd");
+    }
+
+    #[test]
+    fn from_label_round_trips_and_accepts_hyphens() {
+        for h in Heuristic::EXTENDED {
+            assert_eq!(Heuristic::from_label(h.label()), Some(h));
+        }
+        assert_eq!(Heuristic::from_label("full-one"), Some(Heuristic::FullPathOneDestination));
+        assert_eq!(Heuristic::from_label("full-all"), Some(Heuristic::FullPathAllDestinations));
+        assert_eq!(Heuristic::from_label("fastest"), None);
+        assert_eq!(Heuristic::from_label(""), None);
     }
 
     #[test]

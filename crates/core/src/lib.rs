@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alap;
 pub mod baselines;
 pub mod bounds;
 pub mod cost;
@@ -35,6 +36,7 @@ mod full_one;
 pub mod heuristic;
 pub mod metrics;
 mod partial;
+mod rcd;
 pub mod schedule;
 pub mod state;
 

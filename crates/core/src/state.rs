@@ -461,6 +461,103 @@ impl<'a> SchedulerState<'a> {
         committed
     }
 
+    /// Commits the current shortest path of `item` to `destination` with
+    /// every hop re-timed to its *latest* feasible slot (the `alap`
+    /// heuristic's move): the final hop completes by `deadline` and each
+    /// earlier hop completes by the start of the hop after it, so the
+    /// chain hugs the deadline and leaves early link capacity free. Hops
+    /// into machines that already hold a copy in time are skipped along
+    /// with the whole chain feeding them (downstream sources from the
+    /// existing copy).
+    ///
+    /// Latest placement can be infeasible where earliest placement is not
+    /// (storage or window blockage near the deadline); in that case this
+    /// falls back to [`SchedulerState::commit_path`] so the heuristic
+    /// always makes progress.
+    ///
+    /// Returns the number of hops committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `destination` is unreachable in the current tree; callers
+    /// check reachability when they pick the step.
+    pub fn commit_path_latest(
+        &mut self,
+        item: DataItemId,
+        destination: MachineId,
+        deadline: SimTime,
+    ) -> u32 {
+        let tree = self.tree(item).clone();
+        let path = tree
+            .path_to(destination)
+            .expect("chosen destination must be reachable in the current tree");
+        let size = self.scenario.item(item).size();
+        // Backward pass: bound each hop's completion by the start of the
+        // hop after it (the copy must be on the sending machine before the
+        // next transfer begins).
+        let mut limit = deadline;
+        let mut retimed: Vec<Hop> = Vec::with_capacity(path.len());
+        for hop in path.iter().rev() {
+            // A copy already at the receiving machine in time makes this
+            // hop — and the chain feeding it — unnecessary.
+            if self.copies[item.index()].iter().any(|&(m, at)| m == hop.to && at <= limit) {
+                break;
+            }
+            let hold = self.hold_until[item.index()][hop.to.index()];
+            let Some(slot) = self.ledger.latest_transfer(
+                self.scenario.network(),
+                hop.link,
+                hop.start,
+                size,
+                limit,
+                hold,
+            ) else {
+                return self.commit_path(item, destination);
+            };
+            retimed.push(Hop {
+                from: hop.from,
+                to: hop.to,
+                link: hop.link,
+                start: slot.start,
+                arrival: slot.arrival,
+            });
+            limit = slot.start;
+        }
+        // Forward pass: commit in travel order. Each hop touches its own
+        // link and receiving store (path machines are distinct), so the
+        // probed slots stay feasible as earlier hops commit.
+        retimed.reverse();
+        let mut links = Vec::with_capacity(retimed.len());
+        let mut machines = Vec::with_capacity(retimed.len());
+        let mut committed = 0u32;
+        for hop in retimed {
+            let hold = self.hold_until[item.index()][hop.to.index()];
+            let slot = self
+                .ledger
+                .commit_transfer(self.scenario.network(), hop.link, hop.start, size, hold)
+                .expect("latest slot probed against the same ledger must commit");
+            debug_assert_eq!(slot.arrival, hop.arrival);
+            self.transfers.push(Transfer {
+                item,
+                from: hop.from,
+                to: hop.to,
+                link: hop.link,
+                start: hop.start,
+                arrival: hop.arrival,
+            });
+            self.metrics.transfers_committed += 1;
+            committed += 1;
+            self.copies[item.index()].push((hop.to, hop.arrival));
+            let depth = self.depths[item.index()][hop.from.index()].saturating_add(1);
+            self.depths[item.index()][hop.to.index()] = depth;
+            self.mark_deliveries(item, hop.to, hop.arrival, depth);
+            links.push(hop.link);
+            machines.push(hop.to);
+        }
+        self.invalidate_after_commit(item, &links, &machines);
+        committed
+    }
+
     /// Attempts to commit a *precomputed* hop against the current ledger
     /// (used by the single-Dijkstra random lower bound, whose paths were
     /// planned on the pristine network and may no longer fit). Returns

@@ -44,6 +44,20 @@ pub static SERVICE_VERB_INJECT_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US
 pub static SERVICE_VERB_SNAPSHOT_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
 /// Wall latency of `metrics` and `trace` dispatches.
 pub static SERVICE_VERB_METRICS_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Wall latency of `optimize` dispatches.
+pub static SERVICE_VERB_OPTIMIZE_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Evict-and-readmit swaps attempted by the optimizer.
+pub static SERVICE_OPT_SWAP_ATTEMPTS: Counter = Counter::new();
+/// Optimizer swaps that improved `E[S]` and were kept.
+pub static SERVICE_OPT_SWAPS_ACCEPTED: Counter = Counter::new();
+/// Deadline slack at admission (`deadline − ETA`), milliseconds. Wide
+/// buckets: scenarios span minutes to days.
+pub static SERVICE_ADMIT_SLACK_MS: Histogram = Histogram::new(&SLACK_BOUNDS_MS);
+
+/// Upper bucket bounds for the admission-slack histogram, milliseconds
+/// (1 s up to 24 h).
+pub const SLACK_BOUNDS_MS: [u64; 10] =
+    [1_000, 5_000, 15_000, 60_000, 300_000, 900_000, 3_600_000, 14_400_000, 43_200_000, 86_400_000];
 
 // --- resources layer (ledger, busy intervals, capacity timelines) -----
 
@@ -202,6 +216,34 @@ pub fn registry() -> &'static [MetricDef] {
             layer: "service",
             label: Some(("verb", "metrics")),
             kind: Histogram(&SERVICE_VERB_METRICS_US),
+        },
+        MetricDef {
+            name: "dstage_service_verb_latency_us",
+            help: "Wall latency of request dispatch by verb, microseconds",
+            layer: "service",
+            label: Some(("verb", "optimize")),
+            kind: Histogram(&SERVICE_VERB_OPTIMIZE_US),
+        },
+        MetricDef {
+            name: "dstage_service_opt_swap_attempts_total",
+            help: "Evict-and-readmit swaps attempted by the optimizer",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_OPT_SWAP_ATTEMPTS),
+        },
+        MetricDef {
+            name: "dstage_service_opt_swaps_accepted_total",
+            help: "Optimizer swaps that improved E[S] and were kept",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_OPT_SWAPS_ACCEPTED),
+        },
+        MetricDef {
+            name: "dstage_service_admit_slack_ms",
+            help: "Deadline slack at admission (deadline minus ETA), milliseconds",
+            layer: "service",
+            label: None,
+            kind: Histogram(&SERVICE_ADMIT_SLACK_MS),
         },
         MetricDef {
             name: "dstage_resources_probes_total",

@@ -178,6 +178,60 @@ impl BusyIntervals {
         found
     }
 
+    /// The latest `start >= ready` such that `[start, start + duration)`
+    /// is free and `start + duration <= limit` — the time-reversal mirror
+    /// of [`BusyIntervals::earliest_gap`], used by as-late-as-possible
+    /// placement to leave early capacity free for later arrivals.
+    ///
+    /// Returns `None` when no such start exists. A zero `duration`
+    /// occupies nothing, so the latest start is `limit` itself whenever
+    /// `ready <= limit`.
+    #[must_use]
+    pub fn latest_gap(
+        &self,
+        ready: SimTime,
+        duration: SimDuration,
+        limit: SimTime,
+    ) -> Option<SimTime> {
+        if duration.is_zero() {
+            // An empty span occupies nothing; the latest start is the limit.
+            return (ready <= limit).then_some(limit);
+        }
+        // Checked, not saturating: a limit shorter than the duration has
+        // no representable start at all, and clamping to zero would
+        // report a start whose true end overshoots the limit.
+        let mut candidate =
+            SimTime::from_millis(limit.as_millis().checked_sub(duration.as_millis())?);
+        if candidate < ready {
+            return None;
+        }
+        // `spans[..idx]` start before the candidate span's end; the span
+        // at `idx - 1` is the only one that can overlap from the right.
+        let mut idx = self.spans.partition_point(|&(s, _)| s < limit);
+        // Count iterations locally and publish once, as in `earliest_gap`.
+        let mut iterations: u64 = 0;
+        let found = loop {
+            iterations += 1;
+            match idx.checked_sub(1).map(|i| self.spans[i]) {
+                Some((s, e)) if e > candidate => {
+                    // Overlaps this busy span; try ending right at its
+                    // start (underflow means nothing earlier fits either).
+                    let Some(ms) = s.as_millis().checked_sub(duration.as_millis()) else {
+                        break None;
+                    };
+                    candidate = SimTime::from_millis(ms);
+                    if candidate < ready {
+                        break None;
+                    }
+                    idx -= 1;
+                }
+                _ => break Some(candidate),
+            }
+        };
+        dstage_obs::metrics::RESOURCES_GAP_ITERATIONS.add(iterations);
+        found
+    }
+
     /// The maximal free gaps within `[from, to)`, in time order.
     ///
     /// Used to blanket-reserve a span that may already contain
@@ -353,6 +407,68 @@ mod tests {
         // An end landing exactly on `SimTime::MAX` is not an overflow and
         // still fits.
         assert_eq!(b.earliest_gap(ready, SimDuration::from_millis(10), SimTime::MAX), Some(ready));
+    }
+
+    #[test]
+    fn latest_gap_hugs_the_limit() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        b.reserve(t(25), t(40)).unwrap();
+        // Free tail: the latest start ends exactly at the limit.
+        assert_eq!(b.latest_gap(t(0), d(10), t(60)), Some(t(50)));
+        // Limit inside the second busy span: fall back before it.
+        assert_eq!(b.latest_gap(t(0), d(5), t(30)), Some(t(20)));
+        // Too long for the middle gap; only the head gap fits.
+        assert_eq!(b.latest_gap(t(0), d(6), t(40)), Some(t(4)));
+        // Ready bound cuts the head gap off.
+        assert_eq!(b.latest_gap(t(5), d(6), t(40)), None);
+        // Exactly fits the middle gap.
+        assert_eq!(b.latest_gap(t(0), d(5), t(25)), Some(t(20)));
+    }
+
+    #[test]
+    fn latest_gap_respects_ready_and_limit() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        // Limit earlier than ready + duration.
+        assert_eq!(b.latest_gap(t(8), d(5), t(12)), None);
+        // Limit before ready entirely.
+        assert_eq!(b.latest_gap(t(30), d(1), t(20)), None);
+        // Latest start is clamped no earlier than ready.
+        assert_eq!(b.latest_gap(t(0), d(10), t(10)), Some(t(0)));
+        assert_eq!(b.latest_gap(t(1), d(10), t(10)), None);
+    }
+
+    #[test]
+    fn latest_gap_rejects_overflowing_arithmetic() {
+        // Mirror of `earliest_gap_rejects_overflowing_end`: the top
+        // candidate is `limit − duration`, which must be checked when the
+        // duration exceeds the limit.
+        let b = BusyIntervals::new();
+        assert_eq!(b.latest_gap(SimTime::ZERO, SimDuration::from_millis(10), t(0)), None);
+        assert_eq!(
+            b.latest_gap(SimTime::ZERO, SimDuration::MAX, SimTime::from_millis(u64::MAX - 1)),
+            None
+        );
+        // A fit ending exactly at `SimTime::MAX` is representable.
+        assert_eq!(
+            b.latest_gap(SimTime::ZERO, SimDuration::from_millis(10), SimTime::MAX),
+            Some(SimTime::from_millis(u64::MAX - 10))
+        );
+        // A busy span pinned at time zero: sliding before it underflows
+        // and must report None, not wrap.
+        let mut busy = BusyIntervals::new();
+        busy.reserve(SimTime::ZERO, t(10)).unwrap();
+        assert_eq!(busy.latest_gap(SimTime::ZERO, d(5), t(12)), None);
+    }
+
+    #[test]
+    fn latest_gap_zero_duration() {
+        let mut b = BusyIntervals::new();
+        b.reserve(t(10), t(20)).unwrap();
+        // Zero-length fits anywhere; the latest start is the limit itself.
+        assert_eq!(b.latest_gap(t(5), SimDuration::ZERO, t(15)), Some(t(15)));
+        assert_eq!(b.latest_gap(t(16), SimDuration::ZERO, t(15)), None);
     }
 
     #[test]

@@ -192,6 +192,48 @@ impl NetworkLedger {
         }
     }
 
+    /// The latest feasible slot for sending `size` bytes over `link` —
+    /// the time-reversal mirror of [`NetworkLedger::earliest_transfer`],
+    /// under the same four feasibility conditions plus a caller-supplied
+    /// completion bound `arrival_by` (a request deadline, or the start of
+    /// the next hop in a backward-chained path). As-late-as-possible
+    /// placement reserves close to that bound, leaving the link's early
+    /// capacity free for later-arriving requests.
+    ///
+    /// Returns `None` when no feasible slot exists at or after `ready`.
+    #[must_use]
+    pub fn latest_transfer(
+        &self,
+        network: &Network,
+        link: VirtualLinkId,
+        ready: SimTime,
+        size: Bytes,
+        arrival_by: SimTime,
+        hold_until: SimTime,
+    ) -> Option<TransferSlot> {
+        dstage_obs::metrics::RESOURCES_PROBES.inc();
+        let vl: &VirtualLink = network.link(link);
+        let duration = vl.transfer_time(size);
+        let busy = &self.links[link.index()];
+        let store = &self.stores[vl.destination().index()];
+        let ready = ready.max(vl.start());
+        // Latest permissible completion: window end, the caller's bound,
+        // and the hold deadline (arriving later means GC on arrival).
+        let limit = vl.end().min(arrival_by).min(hold_until);
+        let start = busy.latest_gap(ready, duration, limit)?;
+        // Safe unchecked add (audited): `latest_gap` only returns starts
+        // whose checked `start + duration` fits below `limit`.
+        let arrival = start + duration;
+        // `arrival <= limit <= hold_until`, so the hold span always ends
+        // at `hold_until` — moving the start earlier only widens it.
+        // Storage feasibility is therefore monotone: if the latest link
+        // start does not fit, no earlier one can, and there is no restart
+        // loop to run (unlike `earliest_transfer`, where later starts
+        // shrink the span).
+        let hold_end = hold_until.max(arrival);
+        store.can_hold(size, start, hold_end).then_some(TransferSlot { start, arrival })
+    }
+
     /// Commits a transfer previously found feasible: marks the link busy
     /// for `[start, arrival)` and reserves storage on the receiving machine
     /// for `[start, max(hold_until, arrival))`.
@@ -382,6 +424,46 @@ mod tests {
         let slot =
             ledger.earliest_transfer(&net, l, t(0), Bytes::new(100_000), SimTime::MAX).unwrap();
         assert_eq!(slot.arrival, t(100));
+    }
+
+    #[test]
+    fn latest_transfer_hugs_the_deadline() {
+        let (net, l) = simple_net();
+        let mut ledger = NetworkLedger::new(&net);
+        let size = Bytes::new(10_000); // 10 s on the link
+        let slot = ledger.latest_transfer(&net, l, t(0), size, t(60), SimTime::MAX).unwrap();
+        assert_eq!(slot.start, t(50));
+        assert_eq!(slot.arrival, t(60));
+        // The window end caps the search when the bounds are open.
+        let slot = ledger.latest_transfer(&net, l, t(0), size, SimTime::MAX, SimTime::MAX).unwrap();
+        assert_eq!(slot.arrival, t(100));
+        // Commit must agree with the probe, and the next latest slot
+        // lands right before it.
+        ledger.commit_transfer(&net, l, slot.start, size, SimTime::MAX).unwrap();
+        let next = ledger.latest_transfer(&net, l, t(0), size, SimTime::MAX, SimTime::MAX).unwrap();
+        assert_eq!(next.arrival, t(90));
+    }
+
+    #[test]
+    fn latest_transfer_respects_ready_and_storage() {
+        let (net, l) = simple_net();
+        let mut ledger = NetworkLedger::new(&net);
+        let size = Bytes::new(10_000);
+        // Ready after the only feasible start.
+        assert!(ledger.latest_transfer(&net, l, t(95), size, SimTime::MAX, SimTime::MAX).is_none());
+        // Destination store blocked from t=40 on: every candidate's hold
+        // span reaches the t=90 hold deadline through the blockage, so no
+        // slot exists at all...
+        let dest = MachineId::new(1);
+        ledger.force_storage(dest, Bytes::from_mib(1), t(40), t(200));
+        assert!(ledger.latest_transfer(&net, l, t(0), size, t(90), t(90)).is_none());
+        // ... while a hold deadline before the blockage still works.
+        let slot = ledger.latest_transfer(&net, l, t(0), size, t(39), t(39)).unwrap();
+        assert_eq!(slot.arrival, t(39));
+        // An arrival bound tighter than the hold deadline is honoured on
+        // its own: the hold span may extend past the bound.
+        let slot = ledger.latest_transfer(&net, l, t(0), size, t(30), t(39)).unwrap();
+        assert_eq!(slot.arrival, t(30));
     }
 
     #[test]

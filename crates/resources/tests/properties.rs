@@ -99,6 +99,118 @@ proptest! {
     }
 
     #[test]
+    fn latest_gap_is_free_and_latest(
+        attempts in prop::collection::vec((0u64..10_000, 0u64..500), 0..30),
+        ready in 0u64..11_000,
+        len in 1u64..600,
+        limit in 0u64..20_000,
+    ) {
+        let b = busy_set(attempts);
+        let duration = SimDuration::from_millis(len);
+        let limit = t(limit);
+        match b.latest_gap(t(ready), duration, limit) {
+            Some(start) => {
+                let end = start + duration;
+                prop_assert!(start >= t(ready));
+                prop_assert!(end <= limit);
+                prop_assert!(b.is_free(start, end), "reported gap not free");
+                // Latest: one millisecond later must not fit (unless that
+                // would overshoot the limit).
+                let later = start + SimDuration::from_millis(1);
+                if later + duration <= limit {
+                    prop_assert!(
+                        !b.is_free(later, later + duration),
+                        "a strictly later start also fits"
+                    );
+                }
+            }
+            None => {
+                // Exhaustive check: no start in [ready, limit-len] fits.
+                // (Bounded domain keeps this tractable.)
+                let Some(latest) = limit.as_millis().checked_sub(len) else {
+                    return Ok(());
+                };
+                for s in ready..=latest.min(ready + 12_000) {
+                    let cs = t(s);
+                    prop_assert!(
+                        !b.is_free(cs, cs + duration),
+                        "latest_gap returned None but start {} fits", s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latest_gap_mirrors_earliest_gap_under_time_reversal(
+        attempts in prop::collection::vec((0u64..10_000, 0u64..500), 0..30),
+        ready in 0u64..11_000,
+        len in 1u64..600,
+        limit in 0u64..20_000,
+    ) {
+        // Reflect the busy set around a pivot beyond every span: a span
+        // [s, e) maps to [P-e, P-s), ready and limit swap roles, and the
+        // latest start in the original set corresponds to the earliest
+        // start in the mirror. This is the defining property of `latest_gap`.
+        const PIVOT: u64 = 40_000;
+        let b = busy_set(attempts);
+        let mut mirrored = BusyIntervals::new();
+        for (s, e) in b.iter() {
+            mirrored
+                .reserve(t(PIVOT - e.as_millis()), t(PIVOT - s.as_millis()))
+                .expect("mirrored spans of a disjoint set stay disjoint");
+        }
+        let duration = SimDuration::from_millis(len);
+        let forward = b.latest_gap(t(ready), duration, t(limit));
+        // In mirror time the limit becomes the ready bound and vice versa:
+        // a span [start, start+len) maps to [PIVOT-limit .. PIVOT-ready].
+        let mirror = mirrored.earliest_gap(t(PIVOT - limit.min(PIVOT)), duration, t(PIVOT - ready.min(PIVOT)));
+        match (forward, mirror) {
+            (Some(f), Some(m)) => {
+                // start <-> PIVOT - end = PIVOT - start - len.
+                prop_assert_eq!(
+                    f.as_millis(),
+                    PIVOT - m.as_millis() - len,
+                    "latest start does not mirror the earliest start"
+                );
+            }
+            (None, None) => {}
+            (f, m) => prop_assert!(false, "feasibility disagrees under reversal: {:?} vs {:?}", f, m),
+        }
+    }
+
+    #[test]
+    fn latest_gap_handles_near_max_overflow_edges(
+        offset in 0u64..100,
+        len in 1u64..200,
+    ) {
+        // Checked arithmetic at the top of representable time, mirroring
+        // the PR-4 `earliest_gap` overflow fix: a candidate end may never
+        // silently wrap past `SimTime::MAX`.
+        let b = BusyIntervals::new();
+        let limit = SimTime::from_millis(u64::MAX - offset);
+        match b.latest_gap(SimTime::ZERO, SimDuration::from_millis(len), limit) {
+            Some(start) => {
+                prop_assert_eq!(start.as_millis(), u64::MAX - offset - len);
+            }
+            None => prop_assert!(false, "an empty set always fits below MAX"),
+        }
+        // A duration longer than the whole timeline can never fit.
+        prop_assert_eq!(
+            b.latest_gap(t(2), SimDuration::MAX, SimTime::MAX),
+            None
+        );
+        // Busy right up to MAX: sliding before the span must use checked
+        // subtraction, not wrap.
+        let mut busy = BusyIntervals::new();
+        busy.reserve(SimTime::from_millis(len / 2), SimTime::MAX).unwrap();
+        prop_assert_eq!(
+            busy.latest_gap(SimTime::ZERO, SimDuration::from_millis(len), SimTime::MAX),
+            None
+        );
+    }
+
+    #[test]
     fn earliest_gap_monotone_in_ready(
         attempts in prop::collection::vec((0u64..10_000, 0u64..500), 0..30),
         ready in 0u64..10_000,

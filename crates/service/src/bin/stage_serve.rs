@@ -9,7 +9,9 @@
 //!   --generate SEED  paper-scale generated catalog (default: seed 0)
 //!   --addr A         bind address (default 127.0.0.1:0 = ephemeral port)
 //!   --workers N      worker threads (default: max(8, cores))
-//!   --heuristic H    partial | full-one (default) | full-all
+//!   --scheduler S    partial | full-one (default) | full-all | alap | rcd
+//!                    (--heuristic is an accepted alias); an unknown name
+//!                    lists the valid ones and exits with code 2
 //!   --criterion C    C1 | C2 | C3 | C4 (default) | C3f
 //!   --ratio X        log10 of the E-U ratio (default 2)
 //!   --weights W      1,5,10 | 1,10,100 (default)
@@ -40,7 +42,45 @@ struct Options {
     weights: PriorityWeights,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// A fatal argument problem and the exit code it maps to. An unknown
+/// scheduler name exits with `2` so scripts can tell a typo from the
+/// generic usage failure (`1`).
+struct CliError {
+    message: String,
+    exit: ExitCode,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError { message: message.into(), exit: ExitCode::FAILURE }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::usage(message)
+    }
+}
+
+/// Resolves a scheduler name against the extended heuristic labels.
+fn parse_scheduler(name: Option<&str>) -> Result<Heuristic, CliError> {
+    let name = name.ok_or_else(|| CliError::usage("--scheduler needs a name"))?;
+    Heuristic::from_label(name).ok_or_else(|| CliError {
+        message: format!(
+            "unknown scheduler `{name}` (valid: {})",
+            Heuristic::EXTENDED.map(Heuristic::label).join(", ")
+        ),
+        exit: ExitCode::from(2),
+    })
+}
+
+fn parse_args() -> Result<Options, CliError> {
     let mut options = Options {
         scenario: None,
         seed: 0,
@@ -73,13 +113,8 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("invalid worker count: {e}"))?,
                 );
             }
-            "--heuristic" => {
-                options.heuristic = match args.next().as_deref() {
-                    Some("partial") => Heuristic::PartialPath,
-                    Some("full-one") | Some("full_one") => Heuristic::FullPathOneDestination,
-                    Some("full-all") | Some("full_all") => Heuristic::FullPathAllDestinations,
-                    other => return Err(format!("unknown heuristic {other:?}")),
-                };
+            "--scheduler" | "--heuristic" => {
+                options.heuristic = parse_scheduler(args.next().as_deref())?;
             }
             "--criterion" => {
                 options.criterion = match args.next().as_deref() {
@@ -88,7 +123,7 @@ fn parse_args() -> Result<Options, String> {
                     Some("C3") | Some("c3") => CostCriterion::C3,
                     Some("C4") | Some("c4") => CostCriterion::C4,
                     Some("C3f") | Some("c3f") => CostCriterion::C3Floor,
-                    other => return Err(format!("unknown criterion {other:?}")),
+                    other => return Err(CliError::usage(format!("unknown criterion {other:?}"))),
                 };
             }
             "--ratio" => {
@@ -102,11 +137,11 @@ fn parse_args() -> Result<Options, String> {
                 options.weights = match args.next().as_deref() {
                     Some("1,5,10") => PriorityWeights::paper_1_5_10(),
                     Some("1,10,100") => PriorityWeights::paper_1_10_100(),
-                    other => return Err(format!("unknown weighting {other:?}")),
+                    other => return Err(CliError::usage(format!("unknown weighting {other:?}"))),
                 };
             }
-            "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown option {other:?}")),
+            "--help" | "-h" => return Err(CliError::usage(String::new())),
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
     }
     Ok(options)
@@ -131,16 +166,16 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
+        Err(err) => {
+            if !err.message.is_empty() {
+                eprintln!("error: {}", err.message);
             }
             eprintln!(
                 "usage: stage-serve [--scenario FILE | --generate SEED] [--addr HOST:PORT] \
-                 [--workers N] [--heuristic partial|full-one|full-all] \
+                 [--workers N] [--scheduler partial|full-one|full-all|alap|rcd] \
                  [--criterion C1|C2|C3|C4|C3f] [--ratio X] [--weights 1,5,10|1,10,100]"
             );
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if err.message.is_empty() { ExitCode::SUCCESS } else { err.exit };
         }
     };
     let catalog = match &options.scenario {

@@ -7,6 +7,7 @@
 //!   submit --item NAME --dest M --deadline-ms T [--priority P] [--key K]
 //!   query --request N
 //!   inject --at-ms T (--link L | --item NAME --machine M)
+//!   optimize [--budget N]
 //!   snapshot
 //!   metrics [--prometheus]
 //!   trace [--limit N]
@@ -26,9 +27,10 @@
 //! failures up to `--retries` times (default 2) with seeded exponential
 //! backoff. A retried `submit` is made idempotent automatically: when no
 //! `--key` is given one is generated once and reused across attempts, so
-//! a retry after a lost response never double-admits. `inject` is only
-//! retried when the request line was never sent — the daemon may have
-//! applied a disturbance whose response was lost.
+//! a retry after a lost response never double-admits. `inject` and
+//! `optimize` are only retried when the request line was never sent —
+//! the daemon may have applied a disturbance (or an optimization pass)
+//! whose response was lost.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
     let mut retry_seed: u64 = 0;
     let mut prometheus = false;
     let mut limit: Option<u64> = None;
+    let mut budget: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,6 +91,7 @@ fn parse_args() -> Result<Options, String> {
             "--retry-seed" => retry_seed = parse_number(args.next(), "--retry-seed")?,
             "--prometheus" => prometheus = true,
             "--limit" => limit = Some(parse_number(args.next(), "--limit")?),
+            "--budget" => budget = Some(parse_number(args.next(), "--budget")?),
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other if verb.is_none() => verb = Some(other.to_string()),
@@ -141,6 +145,15 @@ fn parse_args() -> Result<Options, String> {
                         "inject needs either --link L or --item NAME --machine M".to_string()
                     )
                 }
+            }
+        }
+        Some("optimize") => {
+            // An optimize whose response was lost may already have
+            // swapped the schedule; re-sending would run a second pass.
+            resend_safe = false;
+            match budget {
+                Some(budget) => format!(r#"{{"verb":"optimize","budget":{budget}}}"#),
+                None => r#"{"verb":"optimize"}"#.to_string(),
             }
         }
         Some("snapshot") => r#"{"verb":"snapshot"}"#.to_string(),
@@ -267,6 +280,7 @@ fn main() -> ExitCode {
                  (submit --item NAME --dest M --deadline-ms T [--priority P] [--key K] \
                  | query --request N \
                  | inject --at-ms T (--link L | --item NAME --machine M) \
+                 | optimize [--budget N] \
                  | snapshot | metrics [--prometheus] | trace [--limit N] | shutdown)"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };

@@ -39,8 +39,12 @@ use dstage_model::time::{SimDuration, SimTime};
 use serde::Value;
 
 use crate::protocol::{
-    InjectArgs, InjectKind, InjectResponse, QueryResponse, RouteHop, SubmitArgs, SubmitResponse,
+    InjectArgs, InjectKind, InjectResponse, OptimizeResponse, QueryResponse, RouteHop, SubmitArgs,
+    SubmitResponse,
 };
+
+/// Swap budget used when an `optimize` request does not name one.
+pub const DEFAULT_OPTIMIZE_BUDGET: u64 = 8;
 
 /// The admission decision recorded for one submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +91,29 @@ pub struct InjectionRecord {
     pub evicted: Vec<u32>,
 }
 
+/// One kept evict-and-readmit swap of an optimization pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapRecord {
+    /// Log index of the rejected submission that was readmitted.
+    pub submission: u64,
+    /// Request id evicted to free the capacity.
+    pub evicted: u32,
+    /// Request id assigned to the readmitted submission.
+    pub admitted: u32,
+}
+
+/// One processed `optimize` pass: the budget it ran under and the swaps
+/// it kept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationRecord {
+    /// Swap budget the pass ran under.
+    pub budget: u64,
+    /// Evict-and-readmit trials actually spent.
+    pub attempted: u64,
+    /// Swaps that improved `E[S]` and were kept, in adoption order.
+    pub swaps: Vec<SwapRecord>,
+}
+
 /// One entry of the decision log: the engine's complete, replayable
 /// operation history.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +122,8 @@ pub enum LogRecord {
     Submission(SubmissionRecord),
     /// An `inject` and its repair outcome.
     Injection(InjectionRecord),
+    /// An `optimize` pass and the swaps it kept.
+    Optimization(OptimizationRecord),
 }
 
 /// Lifecycle of an admitted request.
@@ -308,6 +337,8 @@ impl AdmissionEngine {
                 args.deadline_ms, args.item, args.destination
             )),
             Ok(Some((delivery, route))) => {
+                dstage_obs::metrics::SERVICE_ADMIT_SLACK_MS
+                    .record(args.deadline_ms.saturating_sub(delivery.at.as_millis()));
                 let new_transfers = route.len();
                 self.committed.extend(route.iter().copied());
                 self.info.push(AdmittedInfo {
@@ -503,6 +534,165 @@ impl AdmissionEngine {
         (cancelled.len(), repaired, evicted)
     }
 
+    /// Anytime evict-and-readmit hill climb over the live schedule.
+    ///
+    /// Candidates are previously *rejected* submissions (heaviest weight
+    /// first, then submission order) that no earlier pass has readmitted;
+    /// victims are currently satisfied requests with strictly smaller
+    /// weight (lightest first, then id). Each trial evicts one victim and
+    /// tries to route the candidate on the freed capacity; the swap is
+    /// kept iff the weighted satisfied sum `E[S]` strictly improves and
+    /// nobody else loses their delivery. The pass stops at the swap
+    /// `budget` or at a local optimum, whichever comes first, and always
+    /// leaves a valid schedule — it is safe to interrupt between arrivals.
+    ///
+    /// The pass is appended to the decision log, so replaying the log
+    /// through a fresh engine re-executes it deterministically.
+    pub fn optimize(&mut self, budget: u64) -> OptimizeResponse {
+        let levels = self.config.priority_weights.levels();
+        // Rejected submissions an earlier pass already readmitted are
+        // spent: their refusal has been converted into an admission.
+        let mut consumed: Vec<u64> = Vec::new();
+        for record in &self.log {
+            if let LogRecord::Optimization(o) = record {
+                consumed.extend(o.swaps.iter().map(|s| s.submission));
+            }
+        }
+        let mut candidates: Vec<(u64, u64, SubmitArgs)> = Vec::new();
+        for (index, record) in self.log.iter().enumerate() {
+            let LogRecord::Submission(s) = record else { continue };
+            if !matches!(s.decision, Decision::Rejected { .. }) {
+                continue;
+            }
+            let index = index as u64;
+            if consumed.contains(&index) {
+                continue;
+            }
+            // Malformed asks (unknown item, bad priority or machine) can
+            // never be admitted, whatever capacity frees up.
+            if !self.item_ids.contains_key(s.args.item.as_str())
+                || s.args.priority >= levels
+                || s.args.destination as usize >= self.network.machine_count()
+            {
+                continue;
+            }
+            let weight = self.config.priority_weights.weight(Priority::new(s.args.priority));
+            candidates.push((weight, index, s.args.clone()));
+        }
+        candidates.sort_by_key(|&(weight, index, _)| (Reverse(weight), index));
+
+        let mut attempted = 0u64;
+        let mut swaps: Vec<SwapRecord> = Vec::new();
+        let mut incumbent = self.counters().weighted_sum;
+        'climb: loop {
+            let kept_before = swaps.len();
+            for (weight, submission, args) in &candidates {
+                if swaps.iter().any(|s| s.submission == *submission) {
+                    continue;
+                }
+                // Victims strictly lighter than the candidate, lightest
+                // first — evicting heavier work could only lose weight.
+                let mut victims: Vec<(u64, u32)> = self
+                    .admitted
+                    .iter()
+                    .zip(&self.info)
+                    .enumerate()
+                    .filter(|(_, (_, info))| info.status != RequestStatus::Evicted)
+                    .map(|(id, (req, _))| {
+                        (self.config.priority_weights.weight(req.priority()), id as u32)
+                    })
+                    .filter(|&(w, _)| w < *weight)
+                    .collect();
+                victims.sort_unstable();
+                for (_, victim) in victims {
+                    if attempted >= budget {
+                        break 'climb;
+                    }
+                    attempted += 1;
+                    dstage_obs::metrics::SERVICE_OPT_SWAP_ATTEMPTS.inc();
+                    let Some((trial, admitted)) = self.try_swap(args, victim) else { continue };
+                    let improved = trial.counters().weighted_sum;
+                    if improved > incumbent {
+                        dstage_obs::metrics::SERVICE_OPT_SWAPS_ACCEPTED.inc();
+                        swaps.push(SwapRecord {
+                            submission: *submission,
+                            evicted: victim,
+                            admitted,
+                        });
+                        incumbent = improved;
+                        *self = trial;
+                        // The victim set changed; re-derive everything.
+                        continue 'climb;
+                    }
+                }
+            }
+            if swaps.len() == kept_before {
+                break; // a full sweep kept nothing — local optimum
+            }
+        }
+        let optimization = self.log.len() as u64;
+        let response = OptimizeResponse {
+            ok: true,
+            optimization,
+            budget,
+            attempted,
+            swapped: swaps.len() as u64,
+            weighted_sum: incumbent,
+        };
+        self.log.push(LogRecord::Optimization(OptimizationRecord { budget, attempted, swaps }));
+        response
+    }
+
+    /// One evict-and-readmit trial: returns the improved engine clone and
+    /// the readmitted request's id, or `None` when the swap is infeasible
+    /// — evicting the victim cascades into other reservations, costs
+    /// someone else their delivery, or the candidate still does not fit.
+    fn try_swap(&self, args: &SubmitArgs, victim: u32) -> Option<(AdmissionEngine, u32)> {
+        let mut trial = self.clone();
+        let route = std::mem::take(&mut trial.info[victim as usize].route);
+        trial.committed.retain(|t| !route.contains(t));
+        trial.info[victim as usize].status = RequestStatus::Evicted;
+        trial.info[victim as usize].delivery = None;
+        let scenario = trial.build_scenario(None).ok()?;
+        let (valid, cancelled) = filter_consistent(
+            &scenario,
+            std::mem::take(&mut trial.committed),
+            &trial.outages,
+            &trial.losses,
+        );
+        if !cancelled.is_empty() {
+            return None;
+        }
+        trial.committed = valid;
+        let surviving = final_deliveries(&scenario, &trial.committed, &trial.losses);
+        for (id, info) in trial.info.iter_mut().enumerate() {
+            if info.status == RequestStatus::Evicted {
+                continue;
+            }
+            match surviving.iter().find(|d| d.request.index() == id) {
+                Some(d) => info.delivery = Some(*d),
+                None => return None,
+            }
+        }
+        let candidate = Request::new(
+            DataItemId::new(*trial.item_ids.get(args.item.as_str())?),
+            MachineId::new(args.destination),
+            SimTime::from_millis(args.deadline_ms),
+            Priority::new(args.priority),
+        );
+        let scenario = trial.build_scenario(Some(candidate)).ok()?;
+        let readmitted = RequestId::new(trial.admitted.len() as u32);
+        let (delivery, route) = trial.route_candidate(&scenario, readmitted).ok()??;
+        trial.committed.extend(route.iter().copied());
+        trial.info.push(AdmittedInfo {
+            status: RequestStatus::Admitted,
+            delivery: Some(delivery),
+            route,
+        });
+        trial.admitted.push(candidate);
+        Some((trial, readmitted.index() as u32))
+    }
+
     /// Replays one snapshot-log record (an entry of the snapshot's
     /// `log` array) through this engine.
     ///
@@ -557,6 +747,12 @@ impl AdmissionEngine {
                 self.inject(&InjectArgs { kind, at_ms: u64_field("at_ms")? })?;
                 Ok(())
             }
+            Some("optimize") => {
+                // Re-executing the pass is deterministic, so the replayed
+                // engine rediscovers the recorded swaps.
+                self.optimize(u64_field("budget")?);
+                Ok(())
+            }
             other => Err(format!("unknown log verb {other:?}")),
         }
     }
@@ -607,6 +803,8 @@ impl AdmissionEngine {
         let mut rejected_by_priority = vec![0u64; levels];
         let mut submissions = 0u64;
         let mut injections = 0u64;
+        let mut optimizations = 0u64;
+        let mut swapped = 0u64;
         for record in &self.log {
             match record {
                 LogRecord::Submission(s) => {
@@ -618,6 +816,20 @@ impl AdmissionEngine {
                     }
                 }
                 LogRecord::Injection(_) => injections += 1,
+                LogRecord::Optimization(o) => {
+                    optimizations += 1;
+                    swapped += o.swaps.len() as u64;
+                    // A kept swap converts a refusal into an admission;
+                    // move its submission between the per-priority tallies.
+                    for swap in &o.swaps {
+                        let LogRecord::Submission(s) = &self.log[swap.submission as usize] else {
+                            continue;
+                        };
+                        let level = (s.args.priority as usize).min(levels.saturating_sub(1));
+                        rejected_by_priority[level] -= 1;
+                        admitted_by_priority[level] += 1;
+                    }
+                }
             }
         }
         let mut repaired = 0u64;
@@ -636,8 +848,12 @@ impl AdmissionEngine {
         AdmissionCounters {
             submissions,
             admitted: self.admitted.len() as u64,
+            // Each optimizer swap consumes one unique rejected
+            // submission, so the difference stays the refusal count.
             rejected: submissions - self.admitted.len() as u64,
             injections,
+            optimizations,
+            swapped,
             repaired,
             evicted,
             satisfied: self.admitted.len() as u64 - evicted,
@@ -723,6 +939,8 @@ impl AdmissionEngine {
             ("admitted".to_string(), Value::UInt(counters.admitted)),
             ("rejected".to_string(), Value::UInt(counters.rejected)),
             ("injections".to_string(), Value::UInt(counters.injections)),
+            ("optimizations".to_string(), Value::UInt(counters.optimizations)),
+            ("swapped".to_string(), Value::UInt(counters.swapped)),
             ("repaired".to_string(), Value::UInt(counters.repaired)),
             ("evicted".to_string(), Value::UInt(counters.evicted)),
             ("satisfied".to_string(), Value::UInt(counters.satisfied)),
@@ -792,6 +1010,27 @@ fn record_value(record: &LogRecord) -> Value {
             ));
             Value::Object(fields)
         }
+        LogRecord::Optimization(record) => Value::Object(vec![
+            ("verb".to_string(), Value::String("optimize".to_string())),
+            ("budget".to_string(), Value::UInt(record.budget)),
+            ("attempted".to_string(), Value::UInt(record.attempted)),
+            (
+                "swaps".to_string(),
+                Value::Array(
+                    record
+                        .swaps
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                ("submission".to_string(), Value::UInt(s.submission)),
+                                ("evicted".to_string(), Value::UInt(u64::from(s.evicted))),
+                                ("admitted".to_string(), Value::UInt(u64::from(s.admitted))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
     }
 }
 
@@ -806,6 +1045,10 @@ pub struct AdmissionCounters {
     pub rejected: u64,
     /// Processed injections.
     pub injections: u64,
+    /// Processed `optimize` passes.
+    pub optimizations: u64,
+    /// Optimizer swaps kept across all passes.
+    pub swapped: u64,
     /// Requests currently in `repaired` status.
     pub repaired: u64,
     /// Requests evicted by repair (terminal).
@@ -1082,5 +1325,165 @@ mod tests {
             .unwrap();
         assert_eq!(later.displaced, 0);
         assert_eq!(e.query(0).unwrap().status, "evicted");
+    }
+
+    /// One link m0 → m1 (10 s per 10 kB item at 8 kbps) and two items, so
+    /// only one 15 s deadline can be honoured — the canonical swap setup.
+    fn one_link_catalog() -> Scenario {
+        let mut b = NetworkBuilder::new();
+        for i in 0..2 {
+            b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(4)));
+        }
+        let m = MachineId::new;
+        b.add_link(VirtualLink::new(
+            m(0),
+            m(1),
+            SimTime::ZERO,
+            SimTime::from_hours(2),
+            BitsPerSec::new(8_000),
+        ));
+        Scenario::builder(b.build())
+            .add_item(DataItem::new(
+                "alpha",
+                Bytes::new(10_000),
+                vec![DataSource::new(m(0), SimTime::ZERO)],
+            ))
+            .add_item(DataItem::new(
+                "beta",
+                Bytes::new(10_000),
+                vec![DataSource::new(m(0), SimTime::ZERO)],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    fn prioritized(item: &str, deadline_ms: u64, priority: u8) -> SubmitArgs {
+        SubmitArgs {
+            item: item.to_string(),
+            destination: 1,
+            deadline_ms,
+            priority,
+            idempotency_key: None,
+        }
+    }
+
+    #[test]
+    fn alap_beats_partial_on_staggered_arrivals() {
+        // The DDCCast headroom claim end to end: arrivals come worst-case
+        // ordered (a loose-deadline LOW request first), and only the
+        // latest-gap scheduler keeps early capacity for the urgent late
+        // arrival.
+        let catalog = dstage_workload::small::staggered_arrivals();
+        let run = |heuristic: Heuristic| {
+            let mut e = AdmissionEngine::new(&catalog, heuristic, config());
+            let low = e
+                .submit(&SubmitArgs {
+                    item: "background-archive".to_string(),
+                    destination: 1,
+                    deadline_ms: 100_000,
+                    priority: 0,
+                    idempotency_key: None,
+                })
+                .expect("valid submission");
+            assert_eq!(low.decision, "admitted", "{heuristic}: the early LOW request fits alone");
+            let high = e
+                .submit(&SubmitArgs {
+                    item: "urgent-update".to_string(),
+                    destination: 1,
+                    deadline_ms: 15_000,
+                    priority: 2,
+                    idempotency_key: None,
+                })
+                .expect("valid submission");
+            (high.decision, e.counters().weighted_sum)
+        };
+        let (partial_high, partial_sum) = run(Heuristic::PartialPath);
+        let (alap_high, alap_sum) = run(Heuristic::Alap);
+        assert_eq!(partial_high, "rejected", "earliest-gap placement burned the tight window");
+        assert_eq!(partial_sum, 1);
+        assert_eq!(alap_high, "admitted", "latest-gap placement left the window free");
+        assert_eq!(alap_sum, 101);
+        assert!(alap_sum > partial_sum, "alap must strictly beat partial on E[S]");
+    }
+
+    #[test]
+    fn optimize_swaps_a_light_admit_for_a_heavy_refusal() {
+        let mut e =
+            AdmissionEngine::new(&one_link_catalog(), Heuristic::FullPathOneDestination, config());
+        // The light request takes the only slot before t=15 s ...
+        assert_eq!(e.submit(&prioritized("alpha", 15_000, 0)).unwrap().decision, "admitted");
+        // ... so the heavy one bounces off the full link.
+        assert_eq!(e.submit(&prioritized("beta", 15_000, 2)).unwrap().decision, "rejected");
+        assert_eq!(e.counters().weighted_sum, 1);
+
+        let r = e.optimize(8);
+        assert_eq!((r.attempted, r.swapped), (1, 1));
+        assert_eq!(r.weighted_sum, 100);
+        assert_eq!(e.query(0).unwrap().status, "evicted");
+        let readmitted = e.query(1).unwrap();
+        assert_eq!(readmitted.status, "admitted");
+        assert_eq!(readmitted.item, "beta");
+        assert!(readmitted.eta_ms.unwrap() <= 15_000);
+        let c = e.counters();
+        assert_eq!((c.admitted, c.rejected, c.optimizations, c.swapped), (2, 0, 1, 1));
+        assert_eq!((c.satisfied, c.weighted_sum), (1, 100));
+        assert_eq!(c.admitted_by_priority, vec![1, 0, 1]);
+        assert_eq!(c.rejected_by_priority, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn optimize_never_decreases_the_weighted_sum() {
+        let mut e =
+            AdmissionEngine::new(&one_link_catalog(), Heuristic::FullPathOneDestination, config());
+        // Heavy admitted first: the light refusal must NOT displace it.
+        assert_eq!(e.submit(&prioritized("beta", 15_000, 2)).unwrap().decision, "admitted");
+        assert_eq!(e.submit(&prioritized("alpha", 15_000, 0)).unwrap().decision, "rejected");
+        let before = e.counters().weighted_sum;
+        let r = e.optimize(8);
+        assert_eq!(r.swapped, 0, "a lighter candidate has no viable victims");
+        assert_eq!(r.weighted_sum, before);
+        assert_eq!(e.query(0).unwrap().status, "admitted");
+        // A second pass finds the same local optimum without spending
+        // budget on consumed or hopeless candidates.
+        assert_eq!(e.optimize(8).swapped, 0);
+        assert_eq!(e.counters().weighted_sum, before);
+    }
+
+    #[test]
+    fn optimize_respects_the_swap_budget() {
+        let mut e =
+            AdmissionEngine::new(&one_link_catalog(), Heuristic::FullPathOneDestination, config());
+        assert_eq!(e.submit(&prioritized("alpha", 15_000, 0)).unwrap().decision, "admitted");
+        assert_eq!(e.submit(&prioritized("beta", 15_000, 2)).unwrap().decision, "rejected");
+        let r = e.optimize(0);
+        assert_eq!((r.attempted, r.swapped), (0, 0));
+        assert_eq!(e.counters().weighted_sum, 1, "zero budget leaves the schedule alone");
+    }
+
+    #[test]
+    fn optimize_lands_in_the_log_and_replays_byte_identically() {
+        let mut e =
+            AdmissionEngine::new(&one_link_catalog(), Heuristic::FullPathOneDestination, config());
+        e.submit(&prioritized("alpha", 15_000, 0)).unwrap();
+        e.submit(&prioritized("beta", 15_000, 2)).unwrap();
+        e.optimize(8);
+        e.submit(&prioritized("alpha", 7_200_000, 1)).unwrap();
+        let snapshot = e.snapshot();
+        let Some(Value::Array(log)) = snapshot.get("log") else {
+            panic!("snapshot has no log array");
+        };
+        assert!(
+            log.iter().any(|r| r.get("verb").and_then(Value::as_str) == Some("optimize")),
+            "the optimize pass must be a log record"
+        );
+        let mut replayed =
+            AdmissionEngine::new(&one_link_catalog(), Heuristic::FullPathOneDestination, config());
+        for entry in log {
+            replayed.replay_record(entry).unwrap();
+        }
+        assert_eq!(
+            serde_json::to_string(&snapshot).unwrap(),
+            serde_json::to_string(&replayed.snapshot()).unwrap()
+        );
     }
 }

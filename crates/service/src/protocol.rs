@@ -1,9 +1,9 @@
 //! The wire protocol: newline-delimited JSON over TCP.
 //!
 //! Every request is one JSON object per line carrying a `verb` field;
-//! every response is one JSON object per line carrying `ok`. The seven
-//! verbs are `submit`, `query`, `inject`, `snapshot`, `metrics`,
-//! `trace`, and `shutdown`.
+//! every response is one JSON object per line carrying `ok`. The eight
+//! verbs are `submit`, `query`, `inject`, `optimize`, `snapshot`,
+//! `metrics`, `trace`, and `shutdown`.
 //!
 //! `submit` may carry an `idempotency_key`: resubmitting the same key
 //! with the same arguments returns the original decision instead of
@@ -27,6 +27,14 @@ pub enum ClientRequest {
     /// Inject a disturbance: invalidate affected reservations, then
     /// repair displaced requests against the surviving ledger.
     Inject(InjectArgs),
+    /// Run an anytime evict-and-readmit optimization pass over the live
+    /// schedule: trade admitted low-weight requests for previously
+    /// refused higher-weight ones when that strictly improves `E[S]`.
+    Optimize {
+        /// Maximum swap trials to spend; absent means the server
+        /// default.
+        budget: Option<u64>,
+    },
     /// Ask for the full schedule and per-link ledger.
     Snapshot,
     /// Ask for admission counters and the service-latency histogram.
@@ -160,6 +168,16 @@ impl ClientRequest {
                 };
                 Ok(ClientRequest::Inject(InjectArgs { kind, at_ms: require_u64(&value, "at_ms")? }))
             }
+            "optimize" => {
+                let budget =
+                    match value.get("budget") {
+                        None => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            "field `budget` must be an unsigned integer".to_string()
+                        })?),
+                    };
+                Ok(ClientRequest::Optimize { budget })
+            }
             "snapshot" => Ok(ClientRequest::Snapshot),
             "metrics" => {
                 let format = match optional_str(&value, "format")?.as_deref() {
@@ -271,6 +289,23 @@ pub struct InjectResponse {
     pub evicted: u64,
 }
 
+/// Response to an `optimize` request.
+#[derive(Debug, Clone, Serialize)]
+pub struct OptimizeResponse {
+    /// Always `true` (the pass may keep zero swaps and still succeed).
+    pub ok: bool,
+    /// Index of this pass in the daemon's decision log.
+    pub optimization: u64,
+    /// The swap budget the pass ran under.
+    pub budget: u64,
+    /// Evict-and-readmit trials actually spent.
+    pub attempted: u64,
+    /// Swaps that improved `E[S]` and were kept.
+    pub swapped: u64,
+    /// The weighted satisfied sum after the pass.
+    pub weighted_sum: u64,
+}
+
 /// One hop of an admitted request's route, as reported by `query`.
 #[derive(Debug, Clone, Serialize)]
 pub struct RouteHop {
@@ -372,6 +407,10 @@ mod tests {
             ClientRequest::Trace { limit: None }
         );
         assert_eq!(
+            ClientRequest::parse(r#"{"verb":"optimize"}"#).unwrap(),
+            ClientRequest::Optimize { budget: None }
+        );
+        assert_eq!(
             ClientRequest::parse(r#"{"verb":"shutdown"}"#).unwrap(),
             ClientRequest::Shutdown
         );
@@ -398,6 +437,15 @@ mod tests {
             ClientRequest::Trace { limit: Some(16) }
         );
         assert!(ClientRequest::parse(r#"{"verb":"trace","limit":"lots"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_optimize_budgets() {
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"optimize","budget":3}"#).unwrap(),
+            ClientRequest::Optimize { budget: Some(3) }
+        );
+        assert!(ClientRequest::parse(r#"{"verb":"optimize","budget":"lots"}"#).is_err());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The TCP daemon: accept loop, crossbeam worker pool, and the shared
 //! engine behind a `parking_lot::RwLock`.
 //!
-//! Submissions and injections take the write lock (both mutate the
-//! ledger) and are therefore serialized — the order in which concurrent
+//! Submissions, injections, and optimization passes take the write lock
+//! (all three mutate the ledger) and are therefore serialized — the order in which concurrent
 //! clients win the lock *is* the decision order, and the snapshot records
 //! it, so a sequential replay of the same order reproduces the state byte
 //! for byte. Queries, snapshots, and metrics take the read lock and can
@@ -23,7 +23,7 @@ use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use serde::Value;
 
-use crate::engine::AdmissionEngine;
+use crate::engine::{AdmissionEngine, DEFAULT_OPTIMIZE_BUDGET};
 use crate::protocol::{response_line, ClientRequest, ErrorResponse, MetricsFormat};
 
 /// Longest accepted request line, in bytes (newline excluded). Anything
@@ -354,6 +354,7 @@ fn verb_obs(request: &ClientRequest) -> (&'static str, &'static dstage_obs::Hist
         ClientRequest::Submit(_) => ("verb.submit", &m::SERVICE_VERB_SUBMIT_US),
         ClientRequest::Query { .. } => ("verb.query", &m::SERVICE_VERB_QUERY_US),
         ClientRequest::Inject(_) => ("verb.inject", &m::SERVICE_VERB_INJECT_US),
+        ClientRequest::Optimize { .. } => ("verb.optimize", &m::SERVICE_VERB_OPTIMIZE_US),
         ClientRequest::Snapshot => ("verb.snapshot", &m::SERVICE_VERB_SNAPSHOT_US),
         ClientRequest::Metrics { .. } => ("verb.metrics", &m::SERVICE_VERB_METRICS_US),
         ClientRequest::Trace { .. } => ("verb.trace", &m::SERVICE_VERB_METRICS_US),
@@ -400,6 +401,11 @@ fn dispatch_parsed(shared: &Shared, request: ClientRequest) -> String {
             Ok(response) => response_line(&response),
             Err(message) => ErrorResponse::line(message),
         },
+        ClientRequest::Optimize { budget } => {
+            let response =
+                shared.engine.write().optimize(budget.unwrap_or(DEFAULT_OPTIMIZE_BUDGET));
+            response_line(&response)
+        }
         ClientRequest::Snapshot => value_line(&shared.engine.read().snapshot()),
         ClientRequest::Metrics { format: MetricsFormat::Json } => {
             let counters = shared.engine.read().counters();

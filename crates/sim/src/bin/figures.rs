@@ -3,11 +3,13 @@
 //! ```text
 //! figures [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENT: fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions fault-tolerance congestion | all
+//! EXPERIMENT: fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions
+//!             schedulers optimizer fault-tolerance congestion | all
 //!             (default: all)
 //!
 //! OPTIONS:
 //!   --cases N     number of random test cases (default 40, the paper's)
+//!   --budget N    swap budget of the optimizer post-pass (default 8)
 //!   --small       use the scaled-down generator config (fast smoke run)
 //!   --out DIR     write <experiment>.txt and CSV series to DIR
 //!                 (default: results/)
@@ -29,6 +31,7 @@ use dstage_workload::GeneratorConfig;
 
 struct Options {
     cases: usize,
+    budget: u64,
     small: bool,
     out: PathBuf,
     threads: Option<usize>,
@@ -40,6 +43,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         cases: 40,
+        budget: 8,
         small: false,
         out: PathBuf::from("results"),
         threads: None,
@@ -56,6 +60,11 @@ fn parse_args() -> Result<Options, String> {
                     value.parse().map_err(|_| format!("invalid case count {value:?}"))?;
             }
             "--small" => options.small = true,
+            "--budget" => {
+                let value = args.next().ok_or("--budget needs a number")?;
+                options.budget =
+                    value.parse().map_err(|_| format!("invalid swap budget {value:?}"))?;
+            }
             "--threads" => {
                 let value = args.next().ok_or("--threads needs a number")?;
                 options.threads =
@@ -86,6 +95,8 @@ fn parse_args() -> Result<Options, String> {
             "minmax",
             "exec",
             "extensions",
+            "schedulers",
+            "optimizer",
             "fault-tolerance",
             "congestion",
         ]
@@ -173,6 +184,14 @@ fn run_experiment(name: &str, harness: &Harness, options: &Options) -> Option<Ex
         "minmax" => Some(experiments::minmax(harness)),
         "exec" => Some(experiments::exec(harness)),
         "extensions" => Some(experiments::extensions(harness)),
+        "schedulers" => Some(experiments::schedulers(harness)),
+        "optimizer" => {
+            let base =
+                if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
+            // Each climb trial re-runs the full heuristic; a reduced case
+            // count keeps the pass tractable at paper scale.
+            Some(experiments::optimizer(&base, options.cases.min(10), options.budget))
+        }
         "fault-tolerance" | "fault_tolerance" => {
             let base =
                 if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
@@ -197,9 +216,10 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: figures [--cases N] [--small] [--out DIR] [--threads N] [--quiet] \
-                 [--profile] \
-                 [fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions fault-tolerance congestion | all]"
+                "usage: figures [--cases N] [--budget N] [--small] [--out DIR] [--threads N] \
+                 [--quiet] [--profile] \
+                 [fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions schedulers \
+                 optimizer fault-tolerance congestion | all]"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }

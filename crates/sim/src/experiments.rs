@@ -481,6 +481,109 @@ pub fn extensions(harness: &Harness) -> ExperimentReport {
     }
 }
 
+/// **schedulers**: the extended scheduler matrix — the paper's three
+/// heuristics plus the deadline-headroom extensions (`alap`, `rcd`)
+/// under `Cost₄` across the full E-U sweep, against the upper bound.
+/// The headroom schedulers trade peak E-U tuning for robustness to
+/// arrival order, so their curves sit near (not above) the paper trio on
+/// the static batch workload; their payoff is measured by the admission
+/// tests and the chaos harness.
+pub fn schedulers(harness: &Harness) -> ExperimentReport {
+    let weighting = Weighting::W1_10_100;
+    let n = EuRatioPoint::PAPER_SWEEP.len();
+    let bounds = harness.bounds(weighting);
+    let ub_mean = bounds.iter().map(|b| b.upper_bound as f64).sum::<f64>() / bounds.len() as f64;
+    let mut series = vec![Series { label: "upper_bound".into(), values: vec![ub_mean; n] }];
+    for h in Heuristic::EXTENDED {
+        series.push(Series {
+            label: format!("{h}/C4"),
+            values: sweep_series(harness, h, CostCriterion::C4, weighting),
+        });
+    }
+    ExperimentReport {
+        id: "schedulers",
+        title: "All five schedulers (C4) vs the upper bound, 1,10,100 weighting".into(),
+        plots: vec![ascii_plot(
+            "schedulers: mean weighted sum vs log10(E-U ratio), extended matrix",
+            &x_labels(),
+            &series,
+            16,
+        )],
+        tables: vec![sweep_table(
+            "Extended scheduler matrix (mean weighted sum over the test cases)",
+            &series,
+        )],
+    }
+}
+
+/// **optimizer**: the anytime evict-and-rerun post-pass on versus off,
+/// per scheduler, with the residual gap to `upper_bound` before and
+/// after. The climb only adopts strict `E[S]` improvements, so the
+/// "optimized" column is ≥ "base" case by case (asserted in tests), and
+/// the gap delta is what the swap budget bought.
+///
+/// Runs its own generator like `congestion` (the trials re-run the full
+/// heuristic, so the case count is deliberately small).
+pub fn optimizer(
+    base: &dstage_workload::GeneratorConfig,
+    cases: usize,
+    budget: u64,
+) -> ExperimentReport {
+    use dstage_core::bounds::upper_bound;
+    use dstage_core::heuristic::{run, HeuristicConfig};
+
+    let config = HeuristicConfig::paper_best();
+    let weights = &config.priority_weights;
+    let scenarios: Vec<_> =
+        (0..cases as u64).map(|seed| dstage_workload::generate(base, seed)).collect();
+    let n = scenarios.len() as f64;
+    let ub_mean = scenarios.iter().map(|s| upper_bound(s, weights) as f64).sum::<f64>() / n;
+    let mut table = Table::new(
+        format!(
+            "Evict-and-rerun post-pass, swap budget {budget} \
+             (mean upper bound {ub_mean:.1}, E-U ratio 1, 1,10,100 weighting)"
+        ),
+        vec![
+            "scheduler".into(),
+            "base E[S]".into(),
+            "optimized E[S]".into(),
+            "gap before".into(),
+            "gap after".into(),
+            "gap closed".into(),
+            "mean swaps".into(),
+        ],
+    );
+    for h in Heuristic::EXTENDED {
+        let mut base_acc = 0.0f64;
+        let mut opt_acc = 0.0f64;
+        let mut swaps_acc = 0.0f64;
+        for scenario in &scenarios {
+            let base_sum =
+                run(scenario, h, &config).schedule.evaluate(scenario, weights).weighted_sum;
+            let outcome = dstage_sched::optimize_schedule(scenario, h, &config, budget);
+            base_acc += base_sum as f64;
+            opt_acc += outcome.evaluation.weighted_sum as f64;
+            swaps_acc += outcome.accepted as f64;
+        }
+        let (base_mean, opt_mean) = (base_acc / n, opt_acc / n);
+        table.push_row(vec![
+            h.to_string(),
+            format!("{base_mean:.1}"),
+            format!("{opt_mean:.1}"),
+            format!("{:.1}", ub_mean - base_mean),
+            format!("{:.1}", ub_mean - opt_mean),
+            format!("{:+.1}", opt_mean - base_mean),
+            format!("{:.1}", swaps_acc / n),
+        ]);
+    }
+    ExperimentReport {
+        id: "optimizer",
+        title: "Anytime optimizer post-pass: E[S]-vs-upper_bound gap deltas".into(),
+        tables: vec![table],
+        plots: vec![],
+    }
+}
+
 /// **fault_tolerance**: quantifies §4.4's redundancy rationale — copies
 /// are retained on intermediate machines for γ after the latest deadline
 /// precisely so that "a link, an intermediate node, or a destination"
@@ -669,6 +772,13 @@ pub fn work_units(id: &str) -> Option<PrefetchSet> {
                 .collect();
             Some((units, vec![]))
         }
+        "schedulers" => {
+            let mut units = Vec::new();
+            for h in Heuristic::EXTENDED {
+                units.extend(sweep(h, CostCriterion::C4, w));
+            }
+            Some((units, vec![w]))
+        }
         "extensions" => {
             let point = EuRatioPoint::Log10(0);
             let mut units = Vec::new();
@@ -753,6 +863,47 @@ mod tests {
         let h = tiny_harness();
         assert_eq!(minmax(&h).tables[0].rows.len(), 3);
         assert_eq!(exec(&h).tables[0].rows.len(), 11);
+    }
+
+    #[test]
+    fn schedulers_reports_all_five() {
+        let h = tiny_harness();
+        let r = schedulers(&h);
+        assert_eq!(r.tables[0].rows.len(), 6); // upper bound + 5 schedulers
+        assert_eq!(r.tables[0].columns.len(), 12);
+        for heuristic in Heuristic::EXTENDED {
+            assert!(
+                r.tables[0].rows.iter().any(|row| row[0] == format!("{heuristic}/C4")),
+                "{heuristic} missing from the extended matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_reports_every_scheduler_and_never_regresses() {
+        use dstage_core::heuristic::{run, HeuristicConfig};
+
+        let base = GeneratorConfig::small();
+        let r = optimizer(&base, 2, 4);
+        assert_eq!(r.tables[0].rows.len(), 5);
+        // The acceptance guarantee, case by case: the post-pass never
+        // decreases E[S] on any sweep case.
+        let config = HeuristicConfig::paper_best();
+        for seed in 0..2u64 {
+            let scenario = dstage_workload::generate(&base, seed);
+            for h in Heuristic::EXTENDED {
+                let plain = run(&scenario, h, &config)
+                    .schedule
+                    .evaluate(&scenario, &config.priority_weights)
+                    .weighted_sum;
+                let best = dstage_sched::optimize_schedule(&scenario, h, &config, 4);
+                assert!(
+                    best.evaluation.weighted_sum >= plain,
+                    "{h} regressed on seed {seed}: {} < {plain}",
+                    best.evaluation.weighted_sum
+                );
+            }
+        }
     }
 
     #[test]

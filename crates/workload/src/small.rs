@@ -134,6 +134,46 @@ pub fn fan_out() -> Scenario {
         .expect("fan_out is valid by construction")
 }
 
+/// Two machines joined by a single 1 byte/ms link where *arrival order*
+/// hurts earliest-gap placement: request 0 (LOW, generous 100 s deadline)
+/// arrives before request 1 (HIGH, tight 15 s deadline), and each 10 KB
+/// transfer takes 10 s.
+///
+/// An admitter that reserves the earliest feasible gap gives the early
+/// low-priority arrival the `[0 s, 10 s)` slot, leaving the late
+/// high-priority request only `[10 s, 20 s)` — past its deadline. A
+/// latest-gap (`alap`) admitter parks the low request at `[90 s, 100 s)`
+/// instead, so both requests are satisfiable in arrival order.
+#[must_use]
+pub fn staggered_arrivals() -> Scenario {
+    let mut b = NetworkBuilder::new();
+    for i in 0..2 {
+        b.add_machine(Machine::new(format!("m{i}"), Bytes::from_mib(4)));
+    }
+    b.add_link(VirtualLink::new(
+        m(0),
+        m(1),
+        SimTime::ZERO,
+        SimTime::from_hours(2),
+        BitsPerSec::new(8_000),
+    ));
+    Scenario::builder(b.build())
+        .add_item(DataItem::new(
+            "background-archive",
+            Bytes::new(10_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_item(DataItem::new(
+            "urgent-update",
+            Bytes::new(10_000),
+            vec![DataSource::new(m(0), SimTime::ZERO)],
+        ))
+        .add_request(Request::new(item(0), m(1), SimTime::from_secs(100), Priority::LOW))
+        .add_request(Request::new(item(1), m(1), SimTime::from_secs(15), Priority::HIGH))
+        .build()
+        .expect("staggered_arrivals is valid by construction")
+}
+
 /// Two machines with a slow (100 byte/s) link: item 0's request has a
 /// 5-second deadline that no schedule can meet (the 10 KB transfer takes
 /// 100 s even alone), while item 1's request (deadline 30 min) is easy.
@@ -199,6 +239,7 @@ mod tests {
     fn all_small_scenarios_build() {
         assert_eq!(two_hop_chain().request_count(), 3);
         assert_eq!(contended_link().request_count(), 2);
+        assert_eq!(staggered_arrivals().request_count(), 2);
         assert_eq!(fan_out().request_count(), 4);
         assert_eq!(impossible_request().request_count(), 2);
         assert_eq!(no_requests().request_count(), 0);

@@ -117,6 +117,20 @@ fn full_sweep_parallel_matches_sequential_on_the_paper_suite() {
     }
 }
 
+/// The extended scheduler matrix — `alap` and `rcd` included — must
+/// render byte-identically whether its sweep is prefetched on two
+/// worker threads or computed sequentially, just like the paper suite.
+#[test]
+fn extended_scheduler_sweep_is_byte_identical_at_two_threads() {
+    let sequential =
+        render(&[experiments::schedulers(&Harness::new(&GeneratorConfig::small(), 4))]);
+    let harness = Harness::new(&GeneratorConfig::small(), 4);
+    let (units, bounds) = experiments::work_units("schedulers").expect("known experiment id");
+    harness.prefetch(&units, &bounds, 2);
+    let parallel = render(&[experiments::schedulers(&harness)]);
+    assert_byte_identical(&parallel, &sequential, 2);
+}
+
 /// Prefetching on worker threads must leave the cache holding exactly
 /// what sequential calls would have computed.
 #[test]
