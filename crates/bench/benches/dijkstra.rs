@@ -45,6 +45,7 @@ fn bench(c: &mut Criterion) {
                     size: scenario.item(item0).size(),
                     sources: &sources,
                     hold_until: &hold,
+                    horizon: scenario.horizon(),
                 })
             })
         });

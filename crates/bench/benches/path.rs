@@ -1,0 +1,133 @@
+//! Before/after benchmark for the fast-admission path layer: runs the
+//! full-path heuristic over paper-scale scenarios twice — dirty trees
+//! rebuilt from scratch vs incrementally repaired — with the obs tap
+//! recording, and writes the per-decision search effort to
+//! `BENCH_path.json` (relaxations, edge scans, lower-bound prunes, queue
+//! traffic, repair volume).
+//!
+//! The schedules are asserted identical between the two modes here too:
+//! the numbers are only comparable because repair changes nothing but
+//! the work.
+//!
+//! Usage (a plain `main` target, not a criterion harness):
+//!
+//! ```text
+//! cargo bench -p dstage-bench --bench path -- [--cases N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use dstage_bench::paper_scenario;
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_obs::metrics;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ModeStats {
+    repair: bool,
+    secs: f64,
+    trees: u64,
+    tree_repairs: u64,
+    repair_seeds: u64,
+    edge_scans: u64,
+    lb_prunes: u64,
+    relaxations: u64,
+    heap_pushes: u64,
+    stale_pops: u64,
+    bucket_trees: u64,
+    bucket_advances: u64,
+    relaxations_per_tree: f64,
+}
+
+#[derive(Serialize)]
+struct PathBench {
+    cases: usize,
+    generator: &'static str,
+    heuristic: &'static str,
+    rebuild: ModeStats,
+    repair: ModeStats,
+    relaxation_improvement: f64,
+}
+
+fn measure(cases: usize, repair: bool) -> (ModeStats, Vec<dstage_core::schedule::Schedule>) {
+    dstage_path::repair::set_enabled(repair);
+    dstage_obs::set_enabled(true);
+    dstage_obs::reset();
+    let config = HeuristicConfig::paper_best();
+    let started = Instant::now();
+    let mut schedules = Vec::with_capacity(cases);
+    for seed in 0..cases as u64 {
+        let scenario = paper_scenario(seed);
+        let outcome = run(&scenario, Heuristic::FullPathOneDestination, &config);
+        schedules.push(outcome.schedule);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let trees = metrics::PATH_TREES.get();
+    let relaxations = metrics::PATH_RELAXATIONS.get();
+    let stats = ModeStats {
+        repair,
+        secs,
+        trees,
+        tree_repairs: metrics::PATH_TREE_REPAIRS.get(),
+        repair_seeds: metrics::PATH_REPAIR_SEEDS.get(),
+        edge_scans: metrics::PATH_EDGE_SCANS.get(),
+        lb_prunes: metrics::PATH_LB_PRUNES.get(),
+        relaxations,
+        heap_pushes: metrics::PATH_HEAP_PUSHES.get(),
+        stale_pops: metrics::PATH_STALE_POPS.get(),
+        bucket_trees: metrics::PATH_BUCKET_TREES.get(),
+        bucket_advances: metrics::PATH_BUCKET_ADVANCES.get(),
+        relaxations_per_tree: relaxations as f64 / trees.max(1) as f64,
+    };
+    (stats, schedules)
+}
+
+fn main() {
+    let mut cases = 4usize;
+    let mut out = String::from("results/BENCH_path.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                cases = args.next().and_then(|v| v.parse().ok()).expect("--cases N");
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            // cargo bench passes --bench (and test-harness flags); ignore.
+            _ => {}
+        }
+    }
+
+    println!("[path] full-path heuristic, paper generator, {cases} cases");
+    let (rebuild, rebuilt_schedules) = measure(cases, false);
+    println!(
+        "[path] rebuild: {:.2}s, {} trees, {:.1} relaxations/tree",
+        rebuild.secs, rebuild.trees, rebuild.relaxations_per_tree
+    );
+    let (repair, repaired_schedules) = measure(cases, true);
+    println!(
+        "[path] repair:  {:.2}s, {} trees ({} repaired), {:.1} relaxations/tree",
+        repair.secs, repair.trees, repair.tree_repairs, repair.relaxations_per_tree
+    );
+    assert_eq!(rebuilt_schedules, repaired_schedules, "repair must not change schedules");
+
+    let improvement = rebuild.relaxations_per_tree / repair.relaxations_per_tree.max(1e-9);
+    println!("[path] relaxations/tree improvement: {improvement:.1}x");
+
+    let report = PathBench {
+        cases,
+        generator: "paper",
+        heuristic: "full_path_one_destination",
+        rebuild,
+        repair,
+        relaxation_improvement: improvement,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    let path = std::path::Path::new(&out);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create bench report directory");
+    }
+    std::fs::write(path, json).expect("write bench report");
+    println!("[path] wrote {out}");
+
+    dstage_path::repair::set_enabled(true);
+}

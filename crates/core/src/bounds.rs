@@ -61,6 +61,7 @@ pub fn possible_satisfy(scenario: &Scenario, weights: &PriorityWeights) -> Possi
             size: item.size(),
             sources: &sources,
             hold_until: &hold,
+            horizon: scenario.horizon(),
         });
         if tree.arrival(req.destination()) <= req.deadline() {
             satisfiable.push(req_id);

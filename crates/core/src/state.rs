@@ -9,7 +9,8 @@
 use dstage_model::ids::{DataItemId, MachineId, RequestId, VirtualLinkId};
 use dstage_model::scenario::Scenario;
 use dstage_model::time::SimTime;
-use dstage_path::{earliest_arrival_tree, ArrivalTree, Hop, ItemQuery};
+use dstage_path::{earliest_arrival_tree, repair_tree, ArrivalTree, Hop, ItemQuery};
+use dstage_resources::journal::{ChangeJournal, JournalMark};
 use dstage_resources::ledger::NetworkLedger;
 
 use crate::metrics::RunMetrics;
@@ -74,9 +75,19 @@ pub struct SchedulerState<'a> {
     active: Vec<bool>,
     /// Cached earliest-arrival tree per item.
     trees: Vec<Option<ArrivalTree>>,
+    /// Append-only log of consumed links/stores; with `marks` it tells
+    /// each cached tree exactly what moved since it was built.
+    journal: ChangeJournal,
+    /// Per item: the journal position when its cached tree was last known
+    /// valid. Meaningless while the tree slot is `None`.
+    marks: Vec<JournalMark>,
     transfers: Vec<Transfer>,
     metrics: RunMetrics,
     caching: bool,
+    /// Whether dirtied cached trees are incrementally repaired instead of
+    /// rebuilt. Resolved from `DSTAGE_TREE_REPAIR` once at construction so
+    /// parallel states never race the process-global gate.
+    repair: bool,
 }
 
 impl<'a> SchedulerState<'a> {
@@ -131,10 +142,21 @@ impl<'a> SchedulerState<'a> {
             depths,
             active: vec![true; scenario.request_count()],
             trees: vec![None; scenario.item_count()],
+            journal: ChangeJournal::default(),
+            marks: vec![JournalMark::default(); scenario.item_count()],
             transfers: Vec::new(),
             metrics: RunMetrics::default(),
             caching,
+            repair: dstage_path::repair::enabled(),
         }
+    }
+
+    /// Overrides the incremental-repair gate for this state only (the
+    /// process-global default comes from `DSTAGE_TREE_REPAIR`). Repair on
+    /// and off must produce byte-identical schedules; tests flip this
+    /// per-state to pin that without racing the global gate.
+    pub fn set_tree_repair(&mut self, on: bool) {
+        self.repair = on;
     }
 
     /// The scenario being scheduled.
@@ -236,15 +258,16 @@ impl<'a> SchedulerState<'a> {
     }
 
     /// Takes a link out of service from `from` onward (remaining window
-    /// time is blanket-reserved) and invalidates affected cached trees.
+    /// time is blanket-reserved). The block is pure consumption, so it is
+    /// journaled like a commit: affected cached trees are repaired or
+    /// rebuilt lazily at their next query.
     pub fn apply_link_outage(&mut self, link: VirtualLinkId, from: SimTime) {
         let end = self.scenario.network().link(link).end();
         self.ledger.block_link(link, from, end.max(from));
-        for idx in 0..self.trees.len() {
-            let invalid =
-                self.trees[idx].as_ref().is_some_and(|t| t.uses_link(link)) || !self.caching;
-            if invalid {
-                self.trees[idx] = None;
+        self.journal.record_link(link);
+        if !self.caching {
+            for tree in &mut self.trees {
+                *tree = None;
             }
         }
     }
@@ -265,26 +288,68 @@ impl<'a> SchedulerState<'a> {
     }
 
     /// The earliest-arrival tree of `item` against the current ledger,
-    /// recomputing only when the cache is invalid.
+    /// recomputing only when consumed resources actually touch it —
+    /// and then by incremental repair where enabled.
     pub fn tree(&mut self, item: DataItemId) -> &ArrivalTree {
+        enum Action {
+            Hit,
+            Rebuild,
+            Repair,
+        }
         let idx = item.index();
         // With caching disabled every query recomputes, mirroring the
         // paper's unoptimized procedure (the result is identical since the
         // ledger is unchanged between invalidations).
-        let stale = self.trees[idx].is_none() || !self.caching;
-        if stale {
-            let query = ItemQuery {
-                network: self.scenario.network(),
-                ledger: &self.ledger,
-                size: self.scenario.item(item).size(),
-                sources: &self.copies[idx],
-                hold_until: &self.hold_until[idx],
-            };
-            self.trees[idx] = Some(earliest_arrival_tree(&query));
-            self.metrics.dijkstra_runs += 1;
+        let action = if self.trees[idx].is_none() || !self.caching {
+            Action::Rebuild
         } else {
-            self.metrics.cache_hits += 1;
+            let tree = self.trees[idx].as_ref().expect("checked above");
+            let (dirty_links, dirty_machines) = self.journal.since(self.marks[idx]);
+            let touched = dirty_links.iter().any(|&l| tree.uses_link(l))
+                || dirty_machines.iter().any(|&m| tree.stores_on(m));
+            if !touched {
+                Action::Hit
+            } else if self.repair {
+                Action::Repair
+            } else {
+                Action::Rebuild
+            }
+        };
+        match action {
+            Action::Hit => self.metrics.cache_hits += 1,
+            Action::Rebuild => {
+                let query = ItemQuery {
+                    network: self.scenario.network(),
+                    ledger: &self.ledger,
+                    size: self.scenario.item(item).size(),
+                    sources: &self.copies[idx],
+                    hold_until: &self.hold_until[idx],
+                    horizon: self.scenario.horizon(),
+                };
+                self.trees[idx] = Some(earliest_arrival_tree(&query));
+                self.metrics.dijkstra_runs += 1;
+            }
+            Action::Repair => {
+                // Repair replaces a rebuild one for one, so it counts as a
+                // dijkstra run: reported metrics stay byte-identical with
+                // repair on or off (repair volume is published through the
+                // obs tap instead).
+                let old = self.trees[idx].take().expect("checked above");
+                let (dirty_links, dirty_machines) = self.journal.since(self.marks[idx]);
+                let query = ItemQuery {
+                    network: self.scenario.network(),
+                    ledger: &self.ledger,
+                    size: self.scenario.item(item).size(),
+                    sources: &self.copies[idx],
+                    hold_until: &self.hold_until[idx],
+                    horizon: self.scenario.horizon(),
+                };
+                let repaired = repair_tree(&query, &old, dirty_links, dirty_machines);
+                self.trees[idx] = Some(repaired);
+                self.metrics.dijkstra_runs += 1;
+            }
         }
+        self.marks[idx] = self.journal.mark();
         self.trees[idx].as_ref().expect("just ensured")
     }
 
@@ -375,7 +440,7 @@ impl<'a> SchedulerState<'a> {
         let depth = self.depths[item.index()][hop.from.index()].saturating_add(1);
         self.depths[item.index()][hop.to.index()] = depth;
         self.mark_deliveries(item, hop.to, hop.arrival, depth);
-        self.invalidate_after_commit(item, &[hop.link], &[hop.to]);
+        self.record_consumption(item, &[hop.link], &[hop.to]);
     }
 
     /// Commits every hop on the current shortest path of `item` to
@@ -457,7 +522,7 @@ impl<'a> SchedulerState<'a> {
             links.push(hop.link);
             machines.push(hop.to);
         }
-        self.invalidate_after_commit(item, &links, &machines);
+        self.record_consumption(item, &links, &machines);
         committed
     }
 
@@ -554,7 +619,7 @@ impl<'a> SchedulerState<'a> {
             links.push(hop.link);
             machines.push(hop.to);
         }
-        self.invalidate_after_commit(item, &links, &machines);
+        self.record_consumption(item, &links, &machines);
         committed
     }
 
@@ -589,7 +654,7 @@ impl<'a> SchedulerState<'a> {
                 let depth = self.depths[item.index()][hop.from.index()].saturating_add(1);
                 self.depths[item.index()][hop.to.index()] = depth;
                 self.mark_deliveries(item, hop.to, hop.arrival, depth);
-                self.invalidate_after_commit(item, &[hop.link], &[hop.to]);
+                self.record_consumption(item, &[hop.link], &[hop.to]);
                 true
             }
             Err(_) => false,
@@ -615,30 +680,35 @@ impl<'a> SchedulerState<'a> {
         }
     }
 
-    /// Invalidates cached trees after committing transfers of `item` that
-    /// used `links` and placed copies on `machines`.
+    /// Records resource consumption after committing transfers of `item`
+    /// that used `links` and placed copies on `machines`.
     ///
-    /// Resources are only ever consumed, so a cached tree stays optimal
-    /// unless it planned to use one of the touched links or to place a
-    /// copy on one of the touched machines (see DESIGN.md §3). The
-    /// committing item's own tree is always invalidated (its copy set
-    /// grew). With caching disabled, everything is invalidated.
-    fn invalidate_after_commit(
+    /// Resources are only ever consumed within a run (the ledger has no
+    /// release APIs; eviction-style re-planning always starts from a fresh
+    /// state), so a cached tree stays optimal unless it planned to use one
+    /// of the touched links or to place a copy on one of the touched
+    /// machines (see DESIGN.md §3). The consumption is journaled; other
+    /// items' trees are checked lazily — and repaired rather than rebuilt
+    /// where possible — at their next [`SchedulerState::tree`] query. The
+    /// committing item's own tree is dropped eagerly: its copy set grew,
+    /// which repair cannot express. With caching disabled, everything is
+    /// invalidated.
+    fn record_consumption(
         &mut self,
         item: DataItemId,
         links: &[VirtualLinkId],
         machines: &[MachineId],
     ) {
-        for idx in 0..self.trees.len() {
-            if !self.caching || idx == item.index() {
-                self.trees[idx] = None;
-                continue;
-            }
-            let Some(tree) = &self.trees[idx] else { continue };
-            let touched = links.iter().any(|&l| tree.uses_link(l))
-                || machines.iter().any(|&m| tree.stores_on(m));
-            if touched {
-                self.trees[idx] = None;
+        for &link in links {
+            self.journal.record_link(link);
+        }
+        for &machine in machines {
+            self.journal.record_machine(machine);
+        }
+        self.trees[item.index()] = None;
+        if !self.caching {
+            for tree in &mut self.trees {
+                *tree = None;
             }
         }
     }

@@ -181,6 +181,12 @@ pub fn replay_state(
     losses: &[Loss],
     now: SimTime,
 ) -> Result<(), Transfer> {
+    // Every mutation issued here stays inside the tree cache's
+    // consumption-only contract: replayed commits and outage blocks only
+    // *consume* ledger capacity (both are journaled by the state), copy
+    // losses drop the affected item's own tree, and `block_past` drops
+    // every cached tree outright. Nothing releases a reservation, so
+    // incremental repair stays exact across replan rounds.
     for t in kept {
         if !state.try_commit_stale_hop(t.item, hop_of(t)) {
             return Err(*t);

@@ -75,14 +75,33 @@ pub static RESOURCES_COMMITS: Counter = Counter::new();
 
 // --- path layer (earliest-arrival Dijkstra) ---------------------------
 
-/// Earliest-arrival trees computed.
+/// Earliest-arrival trees computed (from scratch or by repair).
 pub static PATH_TREES: Counter = Counter::new();
-/// Edge relaxations attempted (one per outgoing-link probe).
+/// Edge relaxations issued as ledger probes (one `earliest_transfer` call
+/// each; always equals `dstage_resources_probes_total` for pure-path
+/// workloads).
 pub static PATH_RELAXATIONS: Counter = Counter::new();
-/// Heap pushes (sources plus label improvements).
+/// Outgoing edges considered by the search, including every edge the
+/// label or lower-bound prunes discarded before probing.
+pub static PATH_EDGE_SCANS: Counter = Counter::new();
+/// Edges discarded by the static lower bound (unloaded-network crossing
+/// time) before any ledger probe.
+pub static PATH_LB_PRUNES: Counter = Counter::new();
+/// Queue pushes (sources plus label improvements).
 pub static PATH_HEAP_PUSHES: Counter = Counter::new();
-/// Stale heap entries popped and skipped.
+/// Stale queue entries popped and skipped.
 pub static PATH_STALE_POPS: Counter = Counter::new();
+/// Trees produced by incremental repair instead of a from-scratch run
+/// (a subset of `dstage_path_trees_total`).
+pub static PATH_TREE_REPAIRS: Counter = Counter::new();
+/// Queue seeds fed into repair runs (frontier machines plus re-seeded
+/// sources).
+pub static PATH_REPAIR_SEEDS: Counter = Counter::new();
+/// Trees computed with the horizon-bucketed queue backend (the rest used
+/// the binary-heap fallback).
+pub static PATH_BUCKET_TREES: Counter = Counter::new();
+/// Empty buckets the bucket queue's cursor swept past.
+pub static PATH_BUCKET_ADVANCES: Counter = Counter::new();
 
 // --- sim layer (sweep executor) ---------------------------------------
 
@@ -289,24 +308,66 @@ pub fn registry() -> &'static [MetricDef] {
         },
         MetricDef {
             name: "dstage_path_relaxations_total",
-            help: "Edge relaxations attempted",
+            help: "Edge relaxations issued as ledger probes",
             layer: "path",
             label: None,
             kind: Counter(&PATH_RELAXATIONS),
         },
         MetricDef {
+            name: "dstage_path_edge_scans_total",
+            help: "Outgoing edges considered, including pruned ones",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_EDGE_SCANS),
+        },
+        MetricDef {
+            name: "dstage_path_lb_prunes_total",
+            help: "Edges discarded by the static lower bound before probing",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_LB_PRUNES),
+        },
+        MetricDef {
             name: "dstage_path_heap_pushes_total",
-            help: "Heap pushes (sources plus label improvements)",
+            help: "Queue pushes (sources plus label improvements)",
             layer: "path",
             label: None,
             kind: Counter(&PATH_HEAP_PUSHES),
         },
         MetricDef {
             name: "dstage_path_stale_pops_total",
-            help: "Stale heap entries popped and skipped",
+            help: "Stale queue entries popped and skipped",
             layer: "path",
             label: None,
             kind: Counter(&PATH_STALE_POPS),
+        },
+        MetricDef {
+            name: "dstage_path_tree_repairs_total",
+            help: "Trees produced by incremental repair",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_TREE_REPAIRS),
+        },
+        MetricDef {
+            name: "dstage_path_repair_seeds_total",
+            help: "Queue seeds fed into repair runs",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_REPAIR_SEEDS),
+        },
+        MetricDef {
+            name: "dstage_path_bucket_trees_total",
+            help: "Trees computed with the bucket-queue backend",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_BUCKET_TREES),
+        },
+        MetricDef {
+            name: "dstage_path_bucket_advances_total",
+            help: "Empty buckets swept past by the bucket-queue cursor",
+            layer: "path",
+            label: None,
+            kind: Counter(&PATH_BUCKET_ADVANCES),
         },
         MetricDef {
             name: "dstage_sim_work_units_total",

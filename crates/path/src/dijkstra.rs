@@ -9,16 +9,26 @@
 //! the ready time (resources are only ever consumed, never released during
 //! a probe), which gives the FIFO/non-overtaking property that makes
 //! label-setting Dijkstra exact for this setting.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! Three hot-path optimizations ride on that structure, none of which may
+//! change a single label (pinned by `tests/properties.rs`):
+//!
+//! - a monotone bucket queue ([`crate::queue`]) replaces the binary heap
+//!   whenever the caller bounds arrivals by a finite scenario horizon;
+//! - *lower-bound pruning*: the cheapest conceivable crossing of a link —
+//!   ignoring every reservation — is `max(ready, window start) + transfer
+//!   time`. When even that bound cannot beat the current label or fit the
+//!   window/hold limits, the ledger probe is skipped entirely;
+//! - incremental tree repair ([`crate::repair`]) reuses this crate's
+//!   search core seeded only from the frontier around dirtied resources.
 
 use dstage_model::ids::MachineId;
 use dstage_model::network::Network;
-use dstage_model::time::SimTime;
+use dstage_model::time::{SimDuration, SimTime};
 use dstage_model::units::Bytes;
 use dstage_resources::ledger::NetworkLedger;
 
+use crate::queue::MonotoneQueue;
 use crate::tree::{ArrivalTree, Hop};
 
 /// One search instance: everything needed to compute the earliest-arrival
@@ -38,6 +48,138 @@ pub struct ItemQuery<'a> {
     /// the item's GC time for intermediates, the horizon for requesting
     /// destinations (policy supplied by the scheduler). Indexed by machine.
     pub hold_until: &'a [SimTime],
+    /// An upper bound on interesting arrival times — the scenario horizon.
+    /// Purely an optimization hint: it selects the bucket-queue backend and
+    /// its quantization, never affects any label ([`SimTime::MAX`] = no
+    /// bound, binary-heap fallback).
+    pub horizon: SimTime,
+}
+
+/// Static per-link pruning ingredients, computed once per search: the
+/// unloaded-network lower bound on crossing the link (`possible_satisfy`
+/// in `core::bounds` reasons from the same ingredients).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkBound {
+    /// Destination machine index.
+    pub(crate) dst: usize,
+    /// Window start `Lst`.
+    open: SimTime,
+    /// Window end `Let` — the latest permissible completion before the
+    /// hold deadline is taken into account.
+    close: SimTime,
+    /// Serialization + latency for this item.
+    duration: SimDuration,
+}
+
+/// Precomputes [`LinkBound`]s for every link, for an item of `size` bytes.
+pub(crate) fn link_bounds(network: &Network, size: Bytes) -> Vec<LinkBound> {
+    network
+        .links()
+        .map(|(_, link)| LinkBound {
+            dst: link.destination().index(),
+            open: link.start(),
+            close: link.end(),
+            duration: link.transfer_time(size),
+        })
+        .collect()
+}
+
+/// Per-search work tallies, published to the obs tap once per tree.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SearchStats {
+    /// Outgoing edges considered, including every pruned one.
+    pub(crate) edge_scans: u64,
+    /// Ledger probes issued (`earliest_transfer` calls) — kept exactly
+    /// equal to the resources layer's probe count by construction.
+    pub(crate) relaxations: u64,
+    /// Queue pushes (sources + label improvements).
+    pub(crate) heap_pushes: u64,
+    /// Pops whose label had already improved.
+    pub(crate) stale_pops: u64,
+    /// Edges discarded by the static lower bound before any probe.
+    pub(crate) lb_prunes: u64,
+}
+
+impl SearchStats {
+    /// One batched `fetch_add` per series per tree — this is the system's
+    /// innermost loop, so the tap must not cost per-relaxation traffic.
+    pub(crate) fn publish(&self, queue: &MonotoneQueue) {
+        use dstage_obs::metrics as m;
+        m::PATH_TREES.inc();
+        m::PATH_EDGE_SCANS.add(self.edge_scans);
+        m::PATH_RELAXATIONS.add(self.relaxations);
+        m::PATH_HEAP_PUSHES.add(self.heap_pushes);
+        m::PATH_STALE_POPS.add(self.stale_pops);
+        m::PATH_LB_PRUNES.add(self.lb_prunes);
+        if let Some(advances) = queue.bucket_advances() {
+            m::PATH_BUCKET_TREES.inc();
+            m::PATH_BUCKET_ADVANCES.add(advances);
+        }
+    }
+}
+
+/// The label-setting core, shared by [`earliest_arrival_tree`] and
+/// [`crate::repair::repair_tree`]: drains the pre-seeded queue, relaxing
+/// every outgoing edge of each settled machine.
+///
+/// `frozen`, when supplied, marks machines whose labels are already final
+/// (the repair path's unaffected set): edges into them are skipped — a
+/// probe there could never improve the label, so skipping is exact and
+/// keeps the probe sequence into every *non*-frozen machine identical to a
+/// from-scratch run's.
+pub(crate) fn run_search(
+    query: &ItemQuery<'_>,
+    bounds: &[LinkBound],
+    arrivals: &mut [SimTime],
+    hops: &mut [Option<Hop>],
+    queue: &mut MonotoneQueue,
+    frozen: Option<&[bool]>,
+    stats: &mut SearchStats,
+) {
+    while let Some((ready, u_idx)) = queue.pop() {
+        if ready > arrivals[u_idx as usize] {
+            stats.stale_pops += 1;
+            continue; // stale queue entry
+        }
+        let u = MachineId::new(u_idx);
+        for &link_id in query.network.outgoing(u) {
+            stats.edge_scans += 1;
+            let bound = bounds[link_id.index()];
+            let v = bound.dst;
+            if frozen.is_some_and(|f| f[v]) {
+                continue;
+            }
+            // The unloaded-network bound: no slot can complete earlier
+            // than this, and none may complete after window end or the
+            // hold deadline. Overflow means unrepresentably late.
+            let hold = query.hold_until[v];
+            match bound.open.max(ready).checked_add(bound.duration) {
+                Some(lb) if lb <= bound.close.min(hold) && lb < arrivals[v] => {}
+                _ => {
+                    stats.lb_prunes += 1;
+                    continue;
+                }
+            }
+            stats.relaxations += 1;
+            let Some(slot) =
+                query.ledger.earliest_transfer(query.network, link_id, ready, query.size, hold)
+            else {
+                continue;
+            };
+            if slot.arrival < arrivals[v] {
+                arrivals[v] = slot.arrival;
+                hops[v] = Some(Hop {
+                    from: u,
+                    to: MachineId::new(v as u32),
+                    link: link_id,
+                    start: slot.start,
+                    arrival: slot.arrival,
+                });
+                queue.push(slot.arrival, v as u32);
+                stats.heap_pushes += 1;
+            }
+        }
+    }
 }
 
 /// Computes the earliest-arrival tree for one item.
@@ -50,7 +192,7 @@ pub struct ItemQuery<'a> {
 ///
 /// Determinism: ties between equal arrival times are broken by machine id,
 /// and outgoing links are scanned in id order, so equal-cost trees are
-/// always the same tree.
+/// always the same tree — with either queue backend.
 ///
 /// # Panics
 ///
@@ -61,68 +203,24 @@ pub fn earliest_arrival_tree(query: &ItemQuery<'_>) -> ArrivalTree {
     let n = query.network.machine_count();
     assert!(query.hold_until.len() >= n, "hold_until must cover every machine");
 
+    let bounds = link_bounds(query.network, query.size);
     let mut arrivals = vec![SimTime::MAX; n];
     let mut hops: Vec<Option<Hop>> = vec![None; n];
-    // Min-heap on (arrival, machine id) for deterministic tie-breaking.
-    let mut heap: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
-
-    // Tallied locally and published once per tree: this is the system's
-    // innermost loop, so the tap costs four fetch_adds per tree, not per
-    // relaxation.
-    let mut heap_pushes: u64 = 0;
-    let mut stale_pops: u64 = 0;
-    let mut relaxations: u64 = 0;
+    let mut queue = MonotoneQueue::new(query.horizon);
+    let mut stats = SearchStats::default();
 
     for &(machine, available_at) in query.sources {
         let slot = &mut arrivals[machine.index()];
         if available_at < *slot {
             *slot = available_at;
             hops[machine.index()] = None;
-            heap.push(Reverse((available_at, machine.index() as u32)));
-            heap_pushes += 1;
+            queue.push(available_at, machine.index() as u32);
+            stats.heap_pushes += 1;
         }
     }
 
-    while let Some(Reverse((ready, u_idx))) = heap.pop() {
-        if ready > arrivals[u_idx as usize] {
-            stale_pops += 1;
-            continue; // stale heap entry
-        }
-        let u = MachineId::new(u_idx);
-        for &link_id in query.network.outgoing(u) {
-            let link = query.network.link(link_id);
-            let v = link.destination();
-            if arrivals[v.index()] <= ready {
-                // Cannot improve: any transfer out of `u` arrives after
-                // `ready`, and v is already at least that early.
-                continue;
-            }
-            relaxations += 1;
-            let hold = query.hold_until[v.index()];
-            let Some(slot) =
-                query.ledger.earliest_transfer(query.network, link_id, ready, query.size, hold)
-            else {
-                continue;
-            };
-            if slot.arrival < arrivals[v.index()] {
-                arrivals[v.index()] = slot.arrival;
-                hops[v.index()] = Some(Hop {
-                    from: u,
-                    to: v,
-                    link: link_id,
-                    start: slot.start,
-                    arrival: slot.arrival,
-                });
-                heap.push(Reverse((slot.arrival, v.index() as u32)));
-                heap_pushes += 1;
-            }
-        }
-    }
-
-    dstage_obs::metrics::PATH_TREES.inc();
-    dstage_obs::metrics::PATH_RELAXATIONS.add(relaxations);
-    dstage_obs::metrics::PATH_HEAP_PUSHES.add(heap_pushes);
-    dstage_obs::metrics::PATH_STALE_POPS.add(stale_pops);
+    run_search(query, &bounds, &mut arrivals, &mut hops, &mut queue, None, &mut stats);
+    stats.publish(&queue);
 
     ArrivalTree::new(arrivals, hops)
 }
@@ -174,6 +272,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         assert_eq!(tree.arrival(m(0)), t(0));
         assert_eq!(tree.arrival(m(1)), t(10));
@@ -204,6 +303,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: SimTime::MAX,
         });
         // Direct: 40 s. Via line: 10 s + wait to 100 + 10 = 110 s.
         assert_eq!(tree.arrival(m(2)), t(40));
@@ -222,6 +322,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0)), (m(1), t(5))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         // m2 via m1's copy: ready 5, 10 s hop => 15. Via m0: 20. Direct: 40.
         assert_eq!(tree.arrival(m(2)), t(15));
@@ -241,6 +342,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(100))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         assert_eq!(tree.arrival(m(1)), t(110));
         assert_eq!(tree.arrival(m(2)), t(120));
@@ -260,6 +362,7 @@ mod tests {
             size: Bytes::new(1),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         assert!(tree.is_reachable(m(0)));
         assert!(!tree.is_reachable(m(1)));
@@ -278,6 +381,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         assert!(!tree.is_reachable(m(1)));
         // m2 still reachable via the slow direct link.
@@ -296,6 +400,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         // 0->1 arrives at 10 <= 15: ok. 1->2 would arrive at 20 > 15: no.
         // Direct 0->2 arrives at 40 > 15: no.
@@ -319,6 +424,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         assert_eq!(tree.arrival(m(1)), t(70));
         assert_eq!(tree.hop_into(m(1)).unwrap().start, t(60));
@@ -341,6 +447,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: t(300),
         });
         // Slow link: 100 s. Fast link: wait to 30 + 10 s = 40 s.
         assert_eq!(tree.arrival(m(1)), t(40));
@@ -349,7 +456,8 @@ mod tests {
 
     #[test]
     fn deterministic_tie_break_prefers_lower_link_id() {
-        // Two identical links: the tree must always pick link 0.
+        // Two identical links: the tree must always pick link 0, with
+        // either queue backend.
         let mut b = NetworkBuilder::new();
         b.add_machine(Machine::new("a", Bytes::from_mib(1)));
         b.add_machine(Machine::new("b", Bytes::from_mib(1)));
@@ -359,15 +467,21 @@ mod tests {
         let net = b.build();
         let ledger = NetworkLedger::new(&net);
         let hold = max_hold(2);
-        for _ in 0..5 {
-            let tree = earliest_arrival_tree(&ItemQuery {
-                network: &net,
-                ledger: &ledger,
-                size: Bytes::new(100),
-                sources: &[(m(0), t(0))],
-                hold_until: &hold,
-            });
-            assert_eq!(tree.hop_into(m(1)).unwrap().link, dstage_model::ids::VirtualLinkId::new(0));
+        for horizon in [t(300), SimTime::MAX] {
+            for _ in 0..5 {
+                let tree = earliest_arrival_tree(&ItemQuery {
+                    network: &net,
+                    ledger: &ledger,
+                    size: Bytes::new(100),
+                    sources: &[(m(0), t(0))],
+                    hold_until: &hold,
+                    horizon,
+                });
+                assert_eq!(
+                    tree.hop_into(m(1)).unwrap().link,
+                    dstage_model::ids::VirtualLinkId::new(0)
+                );
+            }
         }
     }
 
@@ -397,6 +511,7 @@ mod tests {
             size: Bytes::new(10_000),
             sources: &[(m(0), t(0))],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         // Each hop: 10 s serialization + 0.5 s latency.
         assert_eq!(tree.arrival(m(1)), SimTime::from_millis(10_500));
@@ -414,9 +529,61 @@ mod tests {
             size: Bytes::new(1),
             sources: &[],
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         for i in 0..3 {
             assert!(!tree.is_reachable(m(i)));
         }
+    }
+
+    #[test]
+    fn bucket_and_heap_backends_build_identical_trees() {
+        let net = line_net();
+        let mut ledger = NetworkLedger::new(&net);
+        ledger
+            .commit_transfer(
+                &net,
+                dstage_model::ids::VirtualLinkId::new(0),
+                t(2),
+                Bytes::new(30_000),
+                SimTime::MAX,
+            )
+            .unwrap();
+        let hold = max_hold(3);
+        let sources = [(m(0), t(1)), (m(1), t(90))];
+        let query = |horizon| ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &sources,
+            hold_until: &hold,
+            horizon,
+        };
+        let heap_tree = earliest_arrival_tree(&query(SimTime::MAX));
+        let bucket_tree = earliest_arrival_tree(&query(SimTime::from_hours(2)));
+        // Tight horizons still only affect bucketing, never the labels.
+        let tight_tree = earliest_arrival_tree(&query(t(1)));
+        assert_eq!(heap_tree, bucket_tree);
+        assert_eq!(heap_tree, tight_tree);
+    }
+
+    #[test]
+    fn lower_bound_prune_skips_probes_without_changing_labels() {
+        // The direct 0->2 link can never beat the two-hop route for this
+        // size, so its probe is pruned — labels must match the original
+        // algorithm's regardless.
+        let net = line_net();
+        let ledger = NetworkLedger::new(&net);
+        let hold = max_hold(3);
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &net,
+            ledger: &ledger,
+            size: Bytes::new(10_000),
+            sources: &[(m(0), t(0))],
+            hold_until: &hold,
+            horizon: SimTime::from_hours(2),
+        });
+        assert_eq!(tree.arrival(m(2)), t(20));
+        assert_eq!(tree.path_to(m(2)).unwrap().len(), 2);
     }
 }

@@ -9,7 +9,10 @@
 //!
 //! The search is exact for the current resource state because every
 //! constraint is monotone in the ready time (see
-//! [`dijkstra::earliest_arrival_tree`]).
+//! [`dijkstra::earliest_arrival_tree`]). The same monotonicity powers the
+//! fast-admission machinery: a horizon-bucketed queue ([`queue`]),
+//! static lower-bound pruning of hopeless relaxations, and incremental
+//! repair of cached trees after resource consumption ([`repair`]).
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 //!     size: Bytes::from_kib(100),
 //!     sources: &[(a, SimTime::ZERO)],
 //!     hold_until: &hold,
+//!     horizon: SimTime::from_hours(2),
 //! });
 //! assert!(tree.is_reachable(c));
 //! ```
@@ -41,7 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod dijkstra;
+pub(crate) mod queue;
+pub mod repair;
 pub mod tree;
 
 pub use dijkstra::{earliest_arrival_tree, ItemQuery};
+pub use repair::repair_tree;
 pub use tree::{ArrivalTree, Hop};

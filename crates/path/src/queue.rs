@@ -1,0 +1,227 @@
+//! Monotone priority queues for the earliest-arrival search.
+//!
+//! Label-setting over time-dependent FIFO edges pops keys in
+//! non-decreasing order and only ever pushes keys at or above the key
+//! being popped. That monotonicity admits a bucket queue (Dial-style)
+//! keyed by arrival time quantized against the scenario horizon: the pop
+//! cursor sweeps the buckets once and never backs up, so each pop costs a
+//! heap operation over one small bucket instead of the whole frontier.
+//!
+//! [`MonotoneQueue`] picks the implementation: a bucket queue when the
+//! caller supplies a finite horizon, the classic binary heap when the
+//! horizon is unbounded ([`SimTime::MAX`]). Both pop entries in exactly
+//! the same total order — ascending `(key, machine id)` — so the search
+//! produces byte-identical trees whichever backend is selected (pinned by
+//! the property tests in `tests/properties.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dstage_model::time::SimTime;
+
+/// Number of regular buckets; one overflow bucket rides at the end for
+/// keys beyond the horizon (late arrivals are rare but legal — link
+/// windows are not required to close by the scenario horizon).
+const BUCKETS: usize = 1024;
+
+/// A monotone `(key, machine id)` min-queue with lazy deletion.
+#[derive(Debug)]
+pub(crate) enum MonotoneQueue {
+    /// Classic binary heap — the fallback when no horizon bounds the keys.
+    Heap(BinaryHeap<Reverse<(SimTime, u32)>>),
+    /// Horizon-quantized bucket queue.
+    Buckets(BucketQueue),
+}
+
+impl MonotoneQueue {
+    /// Selects the backend for a search whose keys are expected to stay
+    /// within `horizon`; [`SimTime::MAX`] selects the binary heap. The
+    /// choice is purely an optimization — pop order is identical.
+    pub(crate) fn new(horizon: SimTime) -> Self {
+        if horizon == SimTime::MAX {
+            MonotoneQueue::Heap(BinaryHeap::new())
+        } else {
+            MonotoneQueue::Buckets(BucketQueue::new(horizon))
+        }
+    }
+
+    /// Pushes an entry. Keys below the last popped key are a caller bug
+    /// (they would break the cursor sweep); debug builds assert.
+    pub(crate) fn push(&mut self, key: SimTime, machine: u32) {
+        match self {
+            MonotoneQueue::Heap(heap) => heap.push(Reverse((key, machine))),
+            MonotoneQueue::Buckets(buckets) => buckets.push(key, machine),
+        }
+    }
+
+    /// Pops the minimum `(key, machine id)` entry.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, u32)> {
+        match self {
+            MonotoneQueue::Heap(heap) => heap.pop().map(|Reverse(entry)| entry),
+            MonotoneQueue::Buckets(buckets) => buckets.pop(),
+        }
+    }
+
+    /// Cursor advances over empty buckets, when the bucket backend ran
+    /// (`None` for the heap) — the bucket-queue obs series.
+    pub(crate) fn bucket_advances(&self) -> Option<u64> {
+        match self {
+            MonotoneQueue::Heap(_) => None,
+            MonotoneQueue::Buckets(buckets) => Some(buckets.advances),
+        }
+    }
+}
+
+/// Dial-style bucket queue over `(key, machine id)` entries.
+///
+/// Buckets partition `[0, horizon]` into [`BUCKETS`] equal-width ranges
+/// plus one overflow bucket; each bucket is itself a tiny binary heap so
+/// in-bucket pops come out in ascending `(key, machine id)` order and
+/// same-bucket pushes during the sweep land correctly. Monotone pushes
+/// guarantee nothing ever lands behind the cursor.
+#[derive(Debug)]
+pub(crate) struct BucketQueue {
+    /// Milliseconds per bucket, at least 1.
+    width: u64,
+    /// First possibly non-empty bucket.
+    cursor: usize,
+    /// Total live entries across all buckets.
+    len: usize,
+    /// Empty buckets skipped by pops (obs diagnostic).
+    advances: u64,
+    /// `BUCKETS + 1` heaps; the last is the overflow bucket.
+    buckets: Vec<BinaryHeap<Reverse<(SimTime, u32)>>>,
+}
+
+impl BucketQueue {
+    fn new(horizon: SimTime) -> Self {
+        debug_assert_ne!(horizon, SimTime::MAX, "unbounded horizon takes the heap fallback");
+        let width = horizon.as_millis() / (BUCKETS as u64) + 1;
+        BucketQueue {
+            width,
+            cursor: 0,
+            len: 0,
+            advances: 0,
+            buckets: (0..=BUCKETS).map(|_| BinaryHeap::new()).collect(),
+        }
+    }
+
+    fn index_of(&self, key: SimTime) -> usize {
+        usize::try_from(key.as_millis() / self.width).map_or(BUCKETS, |i| i.min(BUCKETS))
+    }
+
+    fn push(&mut self, key: SimTime, machine: u32) {
+        let index = self.index_of(key);
+        debug_assert!(index >= self.cursor, "push behind the cursor breaks monotonicity");
+        self.buckets[index].push(Reverse((key, machine)));
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor += 1;
+            self.advances += 1;
+        }
+        self.len -= 1;
+        self.buckets[self.cursor].pop().map(|Reverse(entry)| entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Drains a queue fed with a monotone push schedule interleaved with
+    /// pops, returning the pop sequence.
+    fn drain_interleaved(mut queue: MonotoneQueue, pushes: &[(u64, u32)]) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        // Feed half, then alternate pop/push, then drain — exercises
+        // pushes into the current bucket mid-sweep.
+        let (head, tail) = pushes.split_at(pushes.len() / 2);
+        for &(key, id) in head {
+            queue.push(t(key), id);
+        }
+        for &(key, id) in tail {
+            if let Some((k, m)) = queue.pop() {
+                out.push((k.as_millis(), m));
+                // Monotone: pushed keys are never below the popped key.
+                queue.push(t(key.max(k.as_millis())), id);
+            } else {
+                queue.push(t(key), id);
+            }
+        }
+        while let Some((k, m)) = queue.pop() {
+            out.push((k.as_millis(), m));
+        }
+        out
+    }
+
+    #[test]
+    fn bucket_queue_matches_heap_order() {
+        // Deterministic pseudo-random keys from a tiny LCG.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state >> 33
+        };
+        let pushes: Vec<(u64, u32)> = (0..200).map(|i| (next() % 7_200_000, i as u32)).collect();
+        let horizon = t(7_200_000);
+        let heap = drain_interleaved(MonotoneQueue::new(SimTime::MAX), &pushes);
+        let buckets = drain_interleaved(MonotoneQueue::new(horizon), &pushes);
+        assert_eq!(heap, buckets);
+        assert_eq!(heap.len(), pushes.len());
+    }
+
+    #[test]
+    fn ties_pop_in_machine_id_order() {
+        let mut queue = MonotoneQueue::new(t(1_000));
+        for id in [5u32, 1, 3] {
+            queue.push(t(100), id);
+        }
+        assert_eq!(queue.pop(), Some((t(100), 1)));
+        assert_eq!(queue.pop(), Some((t(100), 3)));
+        assert_eq!(queue.pop(), Some((t(100), 5)));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn keys_beyond_the_horizon_land_in_the_overflow_bucket() {
+        let horizon = t(1_000);
+        let mut queue = MonotoneQueue::new(horizon);
+        queue.push(t(5_000), 2); // far beyond the horizon
+        queue.push(t(999), 1);
+        queue.push(t(1_500), 3); // beyond, smaller key than 5_000
+        assert_eq!(queue.pop(), Some((t(999), 1)));
+        assert_eq!(queue.pop(), Some((t(1_500), 3)));
+        assert_eq!(queue.pop(), Some((t(5_000), 2)));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn advances_count_skipped_buckets_only_for_the_bucket_backend() {
+        let mut queue = MonotoneQueue::new(t(1_024_000)); // width ~1001 ms
+        assert_eq!(queue.bucket_advances(), Some(0));
+        queue.push(t(0), 0);
+        queue.push(t(500_000), 1);
+        while queue.pop().is_some() {}
+        assert!(queue.bucket_advances().unwrap() > 0);
+        assert_eq!(MonotoneQueue::new(SimTime::MAX).bucket_advances(), None);
+    }
+
+    #[test]
+    fn empty_queue_pops_none_without_cursor_runaway() {
+        let mut queue = MonotoneQueue::new(t(10));
+        assert_eq!(queue.pop(), None);
+        queue.push(t(3), 7);
+        assert_eq!(queue.pop(), Some((t(3), 7)));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None);
+    }
+}

@@ -29,12 +29,18 @@ pub struct Hop {
 pub struct ArrivalTree {
     arrivals: Vec<SimTime>,
     hops: Vec<Option<Hop>>,
+    /// Per machine, the first hop on its path (the transfer out of a
+    /// source) — precomputed once so candidate-step enumeration does not
+    /// re-walk the whole hop chain per destination. Derived from `hops`,
+    /// so it never disagrees between equal trees.
+    first_hops: Vec<Option<Hop>>,
 }
 
 impl ArrivalTree {
     pub(crate) fn new(arrivals: Vec<SimTime>, hops: Vec<Option<Hop>>) -> Self {
         debug_assert_eq!(arrivals.len(), hops.len());
-        ArrivalTree { arrivals, hops }
+        let first_hops = first_hops_of(&hops);
+        ArrivalTree { arrivals, hops, first_hops }
     }
 
     /// Number of machines covered by the tree.
@@ -111,11 +117,12 @@ impl ArrivalTree {
     /// Panics if the id is out of range.
     #[must_use]
     pub fn first_hop_toward(&self, machine: MachineId) -> Option<Hop> {
-        let mut current = self.hops[machine.index()]?;
-        while let Some(prev) = self.hops[current.from.index()] {
-            current = prev;
-        }
-        Some(current)
+        self.first_hops[machine.index()]
+    }
+
+    /// Borrowed label/hop views for the incremental repair path.
+    pub(crate) fn parts(&self) -> (&[SimTime], &[Option<Hop>]) {
+        (&self.arrivals, &self.hops)
     }
 
     /// Iterates over every hop in the tree (each machine's inbound hop).
@@ -137,6 +144,36 @@ impl ArrivalTree {
     pub fn stores_on(&self, machine: MachineId) -> bool {
         self.hops[machine.index()].is_some()
     }
+}
+
+/// Resolves each machine's first hop in O(n) total with iterative path
+/// compression: walk up until a machine with a known answer (a source,
+/// an unreachable machine, or one resolved earlier), then unwind.
+fn first_hops_of(hops: &[Option<Hop>]) -> Vec<Option<Hop>> {
+    let n = hops.len();
+    let mut first_hops: Vec<Option<Hop>> = vec![None; n];
+    let mut done: Vec<bool> = hops.iter().map(Option::is_none).collect();
+    let mut chain: Vec<usize> = Vec::new();
+    for start in 0..n {
+        let mut cursor = start;
+        while !done[cursor] {
+            chain.push(cursor);
+            cursor = hops[cursor].expect("undone machines have an inbound hop").from.index();
+        }
+        // `cursor` is resolved: its first hop (None exactly when it is a
+        // source or unreachable, i.e. a chain root).
+        let mut inherited = first_hops[cursor];
+        while let Some(machine) = chain.pop() {
+            let inbound = hops[machine].expect("chained machines have an inbound hop");
+            // A root parent means `machine`'s own inbound hop leaves a
+            // source: it IS the first hop.
+            let first = inherited.unwrap_or(inbound);
+            first_hops[machine] = Some(first);
+            done[machine] = true;
+            inherited = Some(first);
+        }
+    }
+    first_hops
 }
 
 #[cfg(test)]
@@ -210,5 +247,39 @@ mod tests {
     fn hops_iterator_yields_each_edge_once() {
         let tr = sample();
         assert_eq!(tr.hops().count(), 2);
+    }
+
+    #[test]
+    fn precomputed_first_hops_match_a_chain_walk() {
+        // A branching tree: 0 -> {1, 2}, 1 -> 3, 3 -> 4, plus source 5
+        // -> 6, so compression crosses shared prefixes and distinct roots.
+        let hop = |from: u32, to: u32, link: u32, s: u64| Hop {
+            from: m(from),
+            to: m(to),
+            link: VirtualLinkId::new(link),
+            start: t(s),
+            arrival: t(s + 2),
+        };
+        let hops = vec![
+            None,
+            Some(hop(0, 1, 0, 0)),
+            Some(hop(0, 2, 1, 1)),
+            Some(hop(1, 3, 2, 2)),
+            Some(hop(3, 4, 3, 4)),
+            None,
+            Some(hop(5, 6, 4, 0)),
+        ];
+        let arrivals = vec![t(0), t(2), t(3), t(4), t(6), t(0), t(2)];
+        let tr = ArrivalTree::new(arrivals, hops.clone());
+        for i in 0..hops.len() {
+            // The original implementation: walk the chain to the root.
+            let expected = hops[i].map(|mut current| {
+                while let Some(prev) = hops[current.from.index()] {
+                    current = prev;
+                }
+                current
+            });
+            assert_eq!(tr.first_hop_toward(m(i as u32)), expected, "machine {i}");
+        }
     }
 }

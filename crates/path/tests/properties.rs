@@ -1,20 +1,26 @@
 //! Property-based tests for the earliest-arrival search.
 //!
-//! The two load-bearing claims are checked against randomized networks:
+//! The load-bearing claims are checked against randomized networks:
 //!
 //! 1. **Exactness** — the label-setting (Dijkstra) result equals a
 //!    Bellman-Ford-style relax-to-fixpoint reference, i.e. the FIFO
 //!    argument for label-setting holds for our time-dependent edges.
 //! 2. **Commit consistency** — every hop the tree promises can actually be
 //!    committed to the ledger at exactly the promised times.
+//! 3. **Queue equivalence** — the horizon-bucketed queue builds trees
+//!    identical to the binary heap's, tie-breaks included.
+//! 4. **Repair exactness** — after arbitrary consumption sequences, an
+//!    incrementally repaired tree equals a from-scratch rebuild.
+//! 5. **First-hop memo** — the precomputed first hop equals a walk up the
+//!    hop chain.
 
-use dstage_model::ids::MachineId;
+use dstage_model::ids::{MachineId, VirtualLinkId};
 use dstage_model::link::VirtualLink;
 use dstage_model::machine::Machine;
 use dstage_model::network::{Network, NetworkBuilder};
 use dstage_model::time::SimTime;
 use dstage_model::units::{BitsPerSec, Bytes};
-use dstage_path::{earliest_arrival_tree, ItemQuery};
+use dstage_path::{earliest_arrival_tree, repair_tree, ItemQuery};
 use dstage_resources::ledger::NetworkLedger;
 use proptest::prelude::*;
 
@@ -62,6 +68,19 @@ fn build(net: &RandomNet) -> Network {
     b.build()
 }
 
+/// Assembles an [`ItemQuery`] over borrowed parts (a closure cannot tie
+/// the passed-in ledger's lifetime to the returned query).
+fn query_of<'a>(
+    network: &'a Network,
+    ledger: &'a NetworkLedger,
+    size: u64,
+    sources: &'a [(MachineId, SimTime)],
+    hold: &'a [SimTime],
+    horizon: SimTime,
+) -> ItemQuery<'a> {
+    ItemQuery { network, ledger, size: Bytes::new(size), sources, hold_until: hold, horizon }
+}
+
 /// Relax every edge repeatedly until nothing changes — a slow but obviously
 /// correct reference for earliest arrivals.
 fn fixpoint_arrivals(
@@ -99,6 +118,39 @@ fn fixpoint_arrivals(
     }
 }
 
+/// Applies `seeds`-driven random commits to `ledger`, returning the
+/// consumed links and receiving machines (the repair journal's view).
+fn consume_randomly(
+    network: &Network,
+    ledger: &mut NetworkLedger,
+    commits: &[(usize, u64, u64)],
+) -> (Vec<VirtualLinkId>, Vec<MachineId>) {
+    let mut dirty_links = Vec::new();
+    let mut dirty_machines = Vec::new();
+    for &(link_pick, start_s, size) in commits {
+        let link_id = VirtualLinkId::new((link_pick % network.link_count()) as u32);
+        let link = network.link(link_id);
+        // Probe for a feasible slot first so most commits land.
+        let Some(slot) = ledger.earliest_transfer(
+            network,
+            link_id,
+            link.start().max(SimTime::from_secs(start_s)),
+            Bytes::new(size),
+            SimTime::MAX,
+        ) else {
+            continue;
+        };
+        if ledger
+            .commit_transfer(network, link_id, slot.start, Bytes::new(size), SimTime::MAX)
+            .is_ok()
+        {
+            dirty_links.push(link_id);
+            dirty_machines.push(link.destination());
+        }
+    }
+    (dirty_links, dirty_machines)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -120,6 +172,7 @@ proptest! {
             size: Bytes::new(size),
             sources: &sources,
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         };
         let tree = earliest_arrival_tree(&query);
         let reference = fixpoint_arrivals(&network, &ledger, Bytes::new(size), &sources, &hold);
@@ -149,6 +202,7 @@ proptest! {
             size: Bytes::new(size),
             sources: &sources,
             hold_until: &hold,
+            horizon: SimTime::MAX,
         });
         // Committing every tree hop (in start order) must succeed exactly
         // as promised: distinct links and distinct receiving machines mean
@@ -187,6 +241,7 @@ proptest! {
                 size: Bytes::new(size),
                 sources: &sources,
                 hold_until: &hold,
+                horizon: SimTime::from_hours(2),
             })
         };
         // Consume some resources: reserve a chunk of one link's window.
@@ -209,6 +264,7 @@ proptest! {
             size: Bytes::new(size),
             sources: &sources,
             hold_until: &hold,
+            horizon: SimTime::from_hours(2),
         });
         for i in 0..net.machines {
             let m = MachineId::new(i as u32);
@@ -216,6 +272,129 @@ proptest! {
                 after.arrival(m) >= before.arrival(m),
                 "arrival improved after consuming resources at machine {}", i
             );
+        }
+    }
+
+    #[test]
+    fn bucket_queue_builds_the_same_tree_as_the_heap(
+        net in random_net_strategy(),
+        size in 1u64..40_000,
+        src in 0usize..7,
+        src_avail in 0u64..100,
+        horizon_s in 1u64..800,
+    ) {
+        let network = build(&net);
+        let src = MachineId::new((src % net.machines) as u32);
+        let ledger = NetworkLedger::new(&network);
+        let hold = vec![SimTime::MAX; net.machines];
+        let sources = [(src, SimTime::from_secs(src_avail))];
+        let query = |horizon| ItemQuery {
+            network: &network,
+            ledger: &ledger,
+            size: Bytes::new(size),
+            sources: &sources,
+            hold_until: &hold,
+            horizon,
+        };
+        // SimTime::MAX forces the binary-heap fallback; any finite horizon
+        // — including ones far smaller than actual arrivals — selects the
+        // bucket queue. The trees must be equal either way, which also
+        // pins the deterministic lower-link-id tie-break: any divergence
+        // in pop order would surface as a different winning hop.
+        let heap_tree = earliest_arrival_tree(&query(SimTime::MAX));
+        let bucket_tree = earliest_arrival_tree(&query(SimTime::from_secs(horizon_s)));
+        prop_assert_eq!(&heap_tree, &bucket_tree);
+    }
+
+    #[test]
+    fn repaired_tree_equals_scratch_rebuild_after_commits(
+        net in random_net_strategy(),
+        size in 1u64..20_000,
+        src in 0usize..7,
+        src_avail in 0u64..50,
+        commits in prop::collection::vec((0usize..32, 0u64..300, 1u64..30_000), 0..12),
+    ) {
+        let network = build(&net);
+        if network.link_count() == 0 {
+            return Ok(());
+        }
+        let src = MachineId::new((src % net.machines) as u32);
+        let hold = vec![SimTime::MAX; net.machines];
+        let sources = [(src, SimTime::from_secs(src_avail))];
+        let mut ledger = NetworkLedger::new(&network);
+        let before = earliest_arrival_tree(&query_of(
+            &network, &ledger, size, &sources, &hold, SimTime::from_hours(2),
+        ));
+        let (dirty_links, dirty_machines) = consume_randomly(&network, &mut ledger, &commits);
+        for horizon in [SimTime::from_hours(2), SimTime::MAX] {
+            let query = query_of(&network, &ledger, size, &sources, &hold, horizon);
+            let repaired = repair_tree(&query, &before, &dirty_links, &dirty_machines);
+            let scratch = earliest_arrival_tree(&query);
+            prop_assert_eq!(&repaired, &scratch);
+        }
+    }
+
+    #[test]
+    fn repair_composes_across_consumption_rounds(
+        net in random_net_strategy(),
+        size in 1u64..20_000,
+        src in 0usize..7,
+        rounds in prop::collection::vec(
+            prop::collection::vec((0usize..32, 0u64..300, 1u64..30_000), 1..4),
+            1..4,
+        ),
+    ) {
+        // Repairing a repaired tree must keep matching scratch — the
+        // scheduler repairs incrementally run after run.
+        let network = build(&net);
+        if network.link_count() == 0 {
+            return Ok(());
+        }
+        let src = MachineId::new((src % net.machines) as u32);
+        let hold = vec![SimTime::MAX; net.machines];
+        let sources = [(src, SimTime::ZERO)];
+        let mut ledger = NetworkLedger::new(&network);
+        let horizon = SimTime::from_hours(2);
+        let mut tree = earliest_arrival_tree(&query_of(
+            &network, &ledger, size, &sources, &hold, horizon,
+        ));
+        for commits in &rounds {
+            let (dirty_links, dirty_machines) = consume_randomly(&network, &mut ledger, commits);
+            let query = query_of(&network, &ledger, size, &sources, &hold, horizon);
+            tree = repair_tree(&query, &tree, &dirty_links, &dirty_machines);
+            let scratch = earliest_arrival_tree(&query);
+            prop_assert_eq!(&tree, &scratch);
+        }
+    }
+
+    #[test]
+    fn first_hop_memo_matches_chain_walk(
+        net in random_net_strategy(),
+        size in 1u64..40_000,
+        src in 0usize..7,
+    ) {
+        let network = build(&net);
+        let src = MachineId::new((src % net.machines) as u32);
+        let ledger = NetworkLedger::new(&network);
+        let hold = vec![SimTime::MAX; net.machines];
+        let sources = [(src, SimTime::ZERO)];
+        let tree = earliest_arrival_tree(&ItemQuery {
+            network: &network,
+            ledger: &ledger,
+            size: Bytes::new(size),
+            sources: &sources,
+            hold_until: &hold,
+            horizon: SimTime::from_hours(2),
+        });
+        for i in 0..net.machines {
+            let m = MachineId::new(i as u32);
+            let walked = tree.hop_into(m).map(|mut hop| {
+                while let Some(prev) = tree.hop_into(hop.from) {
+                    hop = prev;
+                }
+                hop
+            });
+            prop_assert_eq!(tree.first_hop_toward(m), walked, "machine {}", i);
         }
     }
 }

@@ -32,9 +32,11 @@
 #![warn(missing_docs)]
 
 pub mod interval;
+pub mod journal;
 pub mod ledger;
 pub mod timeline;
 
 pub use interval::BusyIntervals;
+pub use journal::{ChangeJournal, JournalMark};
 pub use ledger::{CommitError, NetworkLedger, TransferSlot};
 pub use timeline::CapacityTimeline;

@@ -102,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         size: scenario.item(DataItemId::new(0)).size(),
         sources: &sources,
         hold_until: &hold,
+        horizon: scenario.horizon(),
     });
     for m in scenario.network().machine_ids() {
         println!(

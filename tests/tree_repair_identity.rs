@@ -1,0 +1,59 @@
+//! Repair-gate byte-identity: incremental tree repair is a pure
+//! optimization, so whole sweep runs with `DSTAGE_TREE_REPAIR` on and
+//! off must render the very same bytes — schedules, metrics tables, and
+//! CSV companions alike. One `#[test]`, because the gate override is
+//! process-global (same reasoning as `obs_readonly_tap`).
+
+use data_staging::sim::experiments::{self, ExperimentReport};
+use data_staging::sim::runner::Harness;
+use data_staging::workload::GeneratorConfig;
+
+/// Every rendered byte of a report set, with the measured wall-clock
+/// column masked (it varies run to run by nature; see `obs_readonly_tap`).
+fn render(reports: &[ExperimentReport]) -> String {
+    let mut out = String::new();
+    for report in reports {
+        let mut report = report.clone();
+        for table in &mut report.tables {
+            if let Some(col) = table.columns.iter().position(|c| c == "mean time [ms]") {
+                for row in &mut table.rows {
+                    row[col] = "<wall-clock>".into();
+                }
+            }
+        }
+        out.push_str(&report.to_text());
+        for (name, csv) in report.csv_files() {
+            out.push_str(&name);
+            out.push('\n');
+            out.push_str(&csv);
+        }
+    }
+    out
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_with_repair_on_and_off() {
+    data_staging::path::repair::set_enabled(true);
+    let repaired = render(&experiments::all(&Harness::new(&GeneratorConfig::small(), 4)));
+    assert!(!repaired.is_empty());
+
+    data_staging::path::repair::set_enabled(false);
+    let rebuilt = render(&experiments::all(&Harness::new(&GeneratorConfig::small(), 4)));
+    assert_eq!(
+        repaired, rebuilt,
+        "sweep diverges when incremental tree repair is disabled — repair is inexact somewhere"
+    );
+
+    // Parallel runs repair too; the ladder must match the reference.
+    for threads in [2usize, 4] {
+        data_staging::path::repair::set_enabled(true);
+        let harness = Harness::new(&GeneratorConfig::small(), 4);
+        let parallel_repaired = render(&experiments::all_parallel(&harness, threads));
+        assert_eq!(
+            repaired, parallel_repaired,
+            "{threads}-thread sweep with repair on diverges from the sequential reference"
+        );
+    }
+
+    data_staging::path::repair::set_enabled(true);
+}
