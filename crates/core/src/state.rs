@@ -12,6 +12,7 @@ use dstage_model::time::SimTime;
 use dstage_path::{earliest_arrival_tree, repair_tree, ArrivalTree, Hop, ItemQuery};
 use dstage_resources::journal::{ChangeJournal, JournalMark};
 use dstage_resources::ledger::NetworkLedger;
+use dstage_resources::shard::{Footprint, ShardConfig, ShardMap};
 
 use crate::metrics::RunMetrics;
 use crate::schedule::{Delivery, Schedule, Transfer};
@@ -81,6 +82,15 @@ pub struct SchedulerState<'a> {
     /// Per item: the journal position when its cached tree was last known
     /// valid. Meaningless while the tree slot is `None`.
     marks: Vec<JournalMark>,
+    /// Shard × time-bucket partition of the ledger, for coarse overlap
+    /// tests between a cached tree and the journal tail.
+    shard_map: ShardMap,
+    /// Per item: the sharded footprint of the cached tree (its hop links'
+    /// busy windows plus receiving machines). A journal tail whose
+    /// footprint is disjoint cannot dirty the tree, so the exact
+    /// per-hop `uses_link`/`stores_on` scan is skipped. `None` whenever
+    /// the tree slot is `None`.
+    tree_footprints: Vec<Option<Footprint>>,
     transfers: Vec<Transfer>,
     metrics: RunMetrics,
     caching: bool,
@@ -144,6 +154,8 @@ impl<'a> SchedulerState<'a> {
             trees: vec![None; scenario.item_count()],
             journal: ChangeJournal::default(),
             marks: vec![JournalMark::default(); scenario.item_count()],
+            shard_map: ShardMap::new(scenario.network().link_count(), ShardConfig::default()),
+            tree_footprints: vec![None; scenario.item_count()],
             transfers: Vec::new(),
             metrics: RunMetrics::default(),
             caching,
@@ -233,6 +245,7 @@ impl<'a> SchedulerState<'a> {
                 self.depths[item.index()][machine.index()] = u32::MAX;
             }
             self.trees[item.index()] = None;
+            self.tree_footprints[item.index()] = None;
         }
         removed
     }
@@ -266,9 +279,7 @@ impl<'a> SchedulerState<'a> {
         self.ledger.block_link(link, from, end.max(from));
         self.journal.record_link(link);
         if !self.caching {
-            for tree in &mut self.trees {
-                *tree = None;
-            }
+            self.drop_all_trees();
         }
     }
 
@@ -277,8 +288,16 @@ impl<'a> SchedulerState<'a> {
     /// invalidates every cached tree.
     pub fn block_past(&mut self, now: SimTime) {
         self.ledger.block_past(now);
+        self.drop_all_trees();
+    }
+
+    /// Invalidates every cached tree (and its footprint).
+    fn drop_all_trees(&mut self) {
         for tree in &mut self.trees {
             *tree = None;
+        }
+        for footprint in &mut self.tree_footprints {
+            *footprint = None;
         }
     }
 
@@ -304,9 +323,22 @@ impl<'a> SchedulerState<'a> {
             Action::Rebuild
         } else {
             let tree = self.trees[idx].as_ref().expect("checked above");
-            let (dirty_links, dirty_machines) = self.journal.since(self.marks[idx]);
-            let touched = dirty_links.iter().any(|&l| tree.uses_link(l))
-                || dirty_machines.iter().any(|&m| tree.stores_on(m));
+            // Coarse pre-filter: fold the journal tail into shard ×
+            // time-bucket masks and test against the tree's cached
+            // footprint. Disjoint masks prove no dirty link is used and
+            // no dirty machine is stored on (same link or machine always
+            // lands in the same shard word), so the exact O(tail ×
+            // tree-size) scan runs only on a mask overlap.
+            let tail = self.journal.footprint_since(self.marks[idx], &self.shard_map);
+            let overlaps = match &self.tree_footprints[idx] {
+                Some(footprint) => footprint.intersects(&tail),
+                None => true,
+            };
+            let touched = overlaps && {
+                let (dirty_links, dirty_machines) = self.journal.since(self.marks[idx]);
+                dirty_links.iter().any(|&l| tree.uses_link(l))
+                    || dirty_machines.iter().any(|&m| tree.stores_on(m))
+            };
             if !touched {
                 Action::Hit
             } else if self.repair {
@@ -327,6 +359,7 @@ impl<'a> SchedulerState<'a> {
                     horizon: self.scenario.horizon(),
                 };
                 self.trees[idx] = Some(earliest_arrival_tree(&query));
+                self.tree_footprints[idx] = Some(self.footprint_of_tree(idx));
                 self.metrics.dijkstra_runs += 1;
             }
             Action::Repair => {
@@ -346,11 +379,26 @@ impl<'a> SchedulerState<'a> {
                 };
                 let repaired = repair_tree(&query, &old, dirty_links, dirty_machines);
                 self.trees[idx] = Some(repaired);
+                self.tree_footprints[idx] = Some(self.footprint_of_tree(idx));
                 self.metrics.dijkstra_runs += 1;
             }
         }
         self.marks[idx] = self.journal.mark();
         self.trees[idx].as_ref().expect("just ensured")
+    }
+
+    /// The sharded footprint of the cached tree in slot `idx`: every hop's
+    /// link busy window plus its receiving machine — a superset of what
+    /// `uses_link`/`stores_on` can match, so a disjoint journal tail
+    /// proves the tree clean.
+    fn footprint_of_tree(&self, idx: usize) -> Footprint {
+        let tree = self.trees[idx].as_ref().expect("computed by the caller");
+        let mut footprint = Footprint::empty(&self.shard_map);
+        for hop in tree.hops() {
+            footprint.record_link(&self.shard_map, hop.link, hop.start, hop.arrival);
+            footprint.record_machine(&self.shard_map, hop.to);
+        }
+        footprint
     }
 
     /// Enumerates the candidate steps of `item`: the distinct first hops
@@ -706,10 +754,9 @@ impl<'a> SchedulerState<'a> {
             self.journal.record_machine(machine);
         }
         self.trees[item.index()] = None;
+        self.tree_footprints[item.index()] = None;
         if !self.caching {
-            for tree in &mut self.trees {
-                *tree = None;
-            }
+            self.drop_all_trees();
         }
     }
 

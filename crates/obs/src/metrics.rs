@@ -53,6 +53,31 @@ pub static SERVICE_OPT_SWAPS_ACCEPTED: Counter = Counter::new();
 /// Deadline slack at admission (`deadline − ETA`), milliseconds. Wide
 /// buckets: scenarios span minutes to days.
 pub static SERVICE_ADMIT_SLACK_MS: Histogram = Histogram::new(&SLACK_BOUNDS_MS);
+/// Admission epochs committed by the batcher (singletons included).
+pub static SERVICE_BATCHES: Counter = Counter::new();
+/// Submissions per committed admission epoch.
+pub static SERVICE_BATCH_SIZE: Histogram = Histogram::new(&BATCH_SIZE_BOUNDS);
+/// Speculative decisions re-decided sequentially after a commit-time
+/// conflict (same-item, footprint, or horizon guard).
+pub static SERVICE_CONFLICT_RETRIES: Counter = Counter::new();
+/// Whole epochs demoted to the sequential path because an exclusive
+/// operation interleaved between snapshot and commit.
+pub static SERVICE_BATCH_FALLBACKS: Counter = Counter::new();
+/// Commit-time footprint collisions attributed to ledger shard stripes
+/// (shard index modulo the stripe count).
+pub static SERVICE_SHARD_CONTENTION: [Counter; 8] = [
+    Counter::new(),
+    Counter::new(),
+    Counter::new(),
+    Counter::new(),
+    Counter::new(),
+    Counter::new(),
+    Counter::new(),
+    Counter::new(),
+];
+
+/// Upper bucket bounds for the epoch-size histogram.
+pub const BATCH_SIZE_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// Upper bucket bounds for the admission-slack histogram, milliseconds
 /// (1 s up to 24 h).
@@ -263,6 +288,90 @@ pub fn registry() -> &'static [MetricDef] {
             layer: "service",
             label: None,
             kind: Histogram(&SERVICE_ADMIT_SLACK_MS),
+        },
+        MetricDef {
+            name: "dstage_service_batches_total",
+            help: "Admission epochs committed by the batcher",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_BATCHES),
+        },
+        MetricDef {
+            name: "dstage_service_batch_size",
+            help: "Submissions per committed admission epoch",
+            layer: "service",
+            label: None,
+            kind: Histogram(&SERVICE_BATCH_SIZE),
+        },
+        MetricDef {
+            name: "dstage_service_conflict_retries_total",
+            help: "Speculative decisions re-decided after a commit-time conflict",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_CONFLICT_RETRIES),
+        },
+        MetricDef {
+            name: "dstage_service_batch_fallbacks_total",
+            help: "Epochs demoted to sequential decision by an interleaved exclusive op",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_BATCH_FALLBACKS),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s0")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[0]),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s1")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[1]),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s2")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[2]),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s3")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[3]),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s4")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[4]),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s5")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[5]),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s6")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[6]),
+        },
+        MetricDef {
+            name: "dstage_service_shard_contention_total",
+            help: "Commit-time footprint collisions per ledger shard stripe",
+            layer: "service",
+            label: Some(("shard", "s7")),
+            kind: Counter(&SERVICE_SHARD_CONTENTION[7]),
         },
         MetricDef {
             name: "dstage_resources_probes_total",

@@ -1,0 +1,291 @@
+//! Sharding of the resource ledger for conflict detection.
+//!
+//! The batched admission path (dstage-service) speculates a whole epoch
+//! of submissions against one read snapshot and must decide, at commit
+//! time, whether two decisions could have observed each other's resource
+//! consumption. The ledger's mutation surface is consumption-only (see
+//! [`crate::journal`]), so the question reduces to *resource-footprint
+//! disjointness*: a decision whose route touches no link, no machine, and
+//! no coarse time bucket that an earlier commit touched evaluates
+//! identically against the snapshot and against the live state.
+//!
+//! [`ShardMap`] partitions the id spaces — links first, then machines —
+//! into a fixed number of shards, and [`Footprint`] is one 64-bit time
+//! wheel per shard. Link consumption sets the buckets its busy window
+//! overlaps; storage consumption sets the full mask, because a staged
+//! copy occupies its machine from arrival to an engine-level hold horizon
+//! the footprint cannot see. Bucket indices wrap modulo 64, so two
+//! windows a multiple of `64 * bucket_ms` apart alias to the same bits —
+//! that direction only produces *false* conflicts, which are safe (the
+//! loser is re-decided sequentially), never missed ones.
+
+use dstage_model::ids::{MachineId, VirtualLinkId};
+use dstage_model::time::SimTime;
+
+/// Shard-layout parameters. The defaults are sized for the paper-scale
+/// catalog (hundreds of links, tens of machines) and hour-scale windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards the link+machine id space is folded into.
+    pub shards: usize,
+    /// Width of one time-wheel bucket, in milliseconds.
+    pub bucket_ms: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { shards: 16, bucket_ms: 60_000 }
+    }
+}
+
+/// Maps links and machines onto shard indices.
+///
+/// Links occupy residues `link % shards`; machines are offset by the
+/// link count so a link and a machine with the same raw id do not
+/// spuriously collide on small topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    links: usize,
+    bucket_ms: u64,
+}
+
+impl ShardMap {
+    /// Builds a map for a network with `links` links and any number of
+    /// machines.
+    #[must_use]
+    pub fn new(links: usize, config: ShardConfig) -> Self {
+        ShardMap { shards: config.shards.max(1), links, bucket_ms: config.bucket_ms.max(1) }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard holding `link`'s busy intervals.
+    #[must_use]
+    pub fn shard_of_link(&self, link: VirtualLinkId) -> usize {
+        link.index() % self.shards
+    }
+
+    /// The shard holding `machine`'s storage timeline.
+    #[must_use]
+    pub fn shard_of_machine(&self, machine: MachineId) -> usize {
+        (self.links + machine.index()) % self.shards
+    }
+
+    /// The 64-bit wheel mask covering `[start, end]`, wrapped modulo 64
+    /// buckets. Windows spanning 64 or more buckets saturate to the full
+    /// mask.
+    #[must_use]
+    pub fn window_mask(&self, start: SimTime, end: SimTime) -> u64 {
+        let lo = start.as_millis() / self.bucket_ms;
+        let hi = end.as_millis().max(start.as_millis()) / self.bucket_ms;
+        if hi - lo >= 63 {
+            return !0;
+        }
+        let mut mask = 0u64;
+        for bucket in lo..=hi {
+            mask |= 1u64 << (bucket % 64);
+        }
+        mask
+    }
+}
+
+/// The sharded resource footprint of one admission decision (or of a
+/// journal tail, or of a cached arrival tree): per shard, the time-wheel
+/// buckets the decision consumes.
+///
+/// Two footprints that do not [`intersect`](Footprint::intersects) touch
+/// provably disjoint resources — possibly-shared resources always
+/// intersect, by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    words: Vec<u64>,
+}
+
+impl Footprint {
+    /// An empty footprint laid out for `map`.
+    #[must_use]
+    pub fn empty(map: &ShardMap) -> Self {
+        Footprint { words: vec![0; map.shards()] }
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Records link capacity consumed over the busy window
+    /// `[start, end]`.
+    pub fn record_link(
+        &mut self,
+        map: &ShardMap,
+        link: VirtualLinkId,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.words[map.shard_of_link(link)] |= map.window_mask(start, end);
+    }
+
+    /// Records storage consumed on `machine`. Storage holds span
+    /// engine-defined horizons the footprint cannot see, so the full
+    /// wheel is marked.
+    pub fn record_machine(&mut self, map: &ShardMap, machine: MachineId) {
+        self.words[map.shard_of_machine(machine)] = !0;
+    }
+
+    /// Whether the two footprints could share a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprints were laid out for different shard counts.
+    #[must_use]
+    pub fn intersects(&self, other: &Footprint) -> bool {
+        assert_eq!(self.words.len(), other.words.len(), "footprints from different shard maps");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Folds `other` into `self` (set union).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprints were laid out for different shard counts.
+    pub fn merge(&mut self, other: &Footprint) {
+        assert_eq!(self.words.len(), other.words.len(), "footprints from different shard maps");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Shard indices where the two footprints collide — the contention
+    /// attribution for the observability stripes.
+    pub fn contended_shards<'a>(
+        &'a self,
+        other: &'a Footprint,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .filter(|(_, (a, b))| **a & **b != 0)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ShardMap {
+        ShardMap::new(10, ShardConfig { shards: 4, bucket_ms: 1_000 })
+    }
+
+    fn l(i: u32) -> VirtualLinkId {
+        VirtualLinkId::new(i)
+    }
+
+    fn m(i: u32) -> MachineId {
+        MachineId::new(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn links_and_machines_fold_into_disjoint_residues() {
+        let map = map();
+        assert_eq!(map.shard_of_link(l(0)), 0);
+        assert_eq!(map.shard_of_link(l(5)), 1);
+        // Machines are offset by the link count (10), so M0 lands on
+        // shard 10 % 4 = 2, not on L0's shard.
+        assert_eq!(map.shard_of_machine(m(0)), 2);
+        assert_eq!(map.shard_of_machine(m(3)), 1);
+    }
+
+    #[test]
+    fn window_masks_cover_inclusive_bucket_ranges() {
+        let map = map();
+        assert_eq!(map.window_mask(t(0), t(0)), 0b1);
+        assert_eq!(map.window_mask(t(1), t(3)), 0b1110);
+        // A backwards window degrades to the start bucket.
+        assert_eq!(map.window_mask(t(5), t(2)), 1 << 5);
+        // 63+ buckets saturate.
+        assert_eq!(map.window_mask(t(0), t(63)), !0);
+        assert_eq!(map.window_mask(t(0), SimTime::MAX), !0);
+    }
+
+    #[test]
+    fn wheel_wrap_aliases_conservatively() {
+        let map = map();
+        // Buckets 2 and 66 alias to the same bit: a false conflict, never
+        // a missed one.
+        assert_eq!(map.window_mask(t(2), t(2)), map.window_mask(t(66), t(66)));
+    }
+
+    #[test]
+    fn disjoint_resources_never_intersect() {
+        let map = map();
+        let mut a = Footprint::empty(&map);
+        a.record_link(&map, l(0), t(0), t(2));
+        let mut b = Footprint::empty(&map);
+        // Same shard (L4 ≡ L0 mod 4) but disjoint buckets: no conflict.
+        b.record_link(&map, l(4), t(10), t(12));
+        assert!(!a.intersects(&b));
+        // Overlapping window on the same shard: conflict.
+        b.record_link(&map, l(4), t(1), t(1));
+        assert!(a.intersects(&b));
+        assert_eq!(a.contended_shards(&b).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn same_resource_always_intersects() {
+        let map = map();
+        for (sa, ea, sb, eb) in [(0, 5, 3, 8), (0, 0, 0, 0), (7, 9, 9, 20)] {
+            let mut a = Footprint::empty(&map);
+            a.record_link(&map, l(3), t(sa), t(ea));
+            let mut b = Footprint::empty(&map);
+            b.record_link(&map, l(3), t(sb), t(eb));
+            assert!(a.intersects(&b), "[{sa},{ea}] vs [{sb},{eb}]");
+        }
+        let mut a = Footprint::empty(&map);
+        a.record_machine(&map, m(1));
+        let mut b = Footprint::empty(&map);
+        b.record_machine(&map, m(1));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn machine_marks_saturate_the_wheel() {
+        let map = map();
+        let mut a = Footprint::empty(&map);
+        a.record_machine(&map, m(0));
+        let mut b = Footprint::empty(&map);
+        // Any window on a link sharing M0's shard (shard 2: L2, L6, ...)
+        // conflicts, whatever the time.
+        b.record_link(&map, l(2), t(500), t(501));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let map = map();
+        let mut a = Footprint::empty(&map);
+        a.record_link(&map, l(0), t(0), t(1));
+        let mut b = Footprint::empty(&map);
+        b.record_link(&map, l(1), t(4), t(5));
+        let mut u = Footprint::empty(&map);
+        u.merge(&a);
+        u.merge(&b);
+        assert!(u.intersects(&a));
+        assert!(u.intersects(&b));
+        assert!(!a.intersects(&b));
+        assert!(!Footprint::empty(&map).intersects(&u));
+        assert!(Footprint::empty(&map).is_empty());
+        assert!(!u.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Epoch-batched admission over the sharded resource ledger.
+//!
+//! The single `RwLock<AdmissionEngine>` write lock serialized every
+//! `submit`; this module moves the expensive half of a decision — the
+//! scheduling evaluation — *outside* that lock. Concurrent submissions
+//! are collected into an **epoch**, speculated in parallel under the
+//! engine's read lock (a consistent snapshot — writers are excluded
+//! while speculation runs, no clone is taken), and then
+//! committed sequentially, in arrival order, under a single write-lock
+//! acquisition. The decision log therefore records exactly the commit
+//! order, and the byte-identity guarantee — sequential replay of the
+//! log reproduces the snapshot — survives untouched.
+//!
+//! # Why a speculated decision may be committed verbatim
+//!
+//! The ledger's mutation surface is consumption-only (see
+//! [`dstage_resources::journal`]), so an earlier commit can invalidate a
+//! later epoch member's speculation only by (a) staging new copies of
+//! the *same data item* (which can improve the later candidate's route),
+//! (b) consuming a link window or machine the candidate's own route
+//! uses, or (c) moving the planning horizon the candidate was evaluated
+//! under. The committer guards all three:
+//!
+//! * **same-item guard** — a member whose item was admitted earlier in
+//!   the epoch is re-decided;
+//! * **footprint guard** — members' [`Footprint`]s (route link busy
+//!   windows + staged/destination machines, folded into coarse shard ×
+//!   time-bucket masks) must not intersect the union of everything the
+//!   epoch committed so far; intersection sends the member to sequential
+//!   re-decision. Disjoint footprints leave the candidate's own route
+//!   timings untouched and can only *worsen* the alternatives the
+//!   earliest-arrival search rejected deterministically, so the
+//!   speculated route stays the argmin;
+//! * **horizon guard** — the member's
+//!   [`AdmissionEngine::effective_horizon`] fingerprint must match
+//!   between snapshot and live state.
+//!
+//! Rejections commit no state, and refusal reasons are functions of the
+//! arguments plus resources that only shrink, so a speculated rejection
+//! outside the guards is a live rejection too. An `inject`/`optimize`
+//! that slipped between snapshot and commit bumps the engine version
+//! and demotes the whole epoch to the sequential path.
+//!
+//! Setting `DSTAGE_BATCH_VERIFY=1` (or calling [`set_verify`]) makes
+//! every guard-passing commit re-evaluate against the live state and
+//! panic on divergence — the equivalence tests run with this on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+use crate::engine::{AdmissionEngine, Evaluation};
+use crate::protocol::{SubmitArgs, SubmitResponse};
+use dstage_resources::shard::Footprint;
+
+/// Process-wide switch for paranoid re-verification of speculative
+/// commits (defaults to the `DSTAGE_BATCH_VERIFY` environment variable).
+static VERIFY: OnceLock<AtomicBool> = OnceLock::new();
+
+fn verify_flag() -> &'static AtomicBool {
+    VERIFY.get_or_init(|| {
+        let on = std::env::var("DSTAGE_BATCH_VERIFY").is_ok_and(|v| !v.is_empty() && v != "0");
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether speculative commits are re-checked against the live state.
+#[must_use]
+pub fn verify_enabled() -> bool {
+    verify_flag().load(Ordering::Relaxed)
+}
+
+/// Forces batch verification on or off (testing hook; the default
+/// follows `DSTAGE_BATCH_VERIFY`).
+pub fn set_verify(on: bool) {
+    verify_flag().store(on, Ordering::Relaxed);
+}
+
+/// Admits one epoch of submissions: parallel speculation against a read
+/// snapshot, then sequential commit in arrival order under one write
+/// lock. Returns one response per submission, in input order — exactly
+/// what `engine.write().submit(..)` would have returned one at a time,
+/// byte for byte.
+///
+/// Single-element epochs skip speculation entirely and take the plain
+/// sequential path.
+pub fn run_epoch(
+    engine: &RwLock<AdmissionEngine>,
+    batch: &[SubmitArgs],
+) -> Vec<Result<SubmitResponse, String>> {
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    dstage_obs::metrics::SERVICE_BATCHES.inc();
+    dstage_obs::metrics::SERVICE_BATCH_SIZE.record(batch.len() as u64);
+    if batch.len() == 1 {
+        return vec![engine.write().submit(&batch[0])];
+    }
+
+    // Parallel speculation under the *read* lock: every member evaluates
+    // against the same live state, which stays immutable because writers
+    // are excluded for the duration. This avoids cloning the engine per
+    // epoch; the only writers a spin of speculation can delay are
+    // inject/optimize and other leaders (already serialized by the
+    // leader mutex). Speculation threads are capped at the machine's
+    // parallelism — on a single core the members are evaluated inline,
+    // spawning nothing.
+    let mut evaluations: Vec<Option<Evaluation>> = Vec::new();
+    evaluations.resize_with(batch.len(), || None);
+    let (base_version, map, pre_horizons) = {
+        let snapshot = engine.read();
+        let base_version = snapshot.version();
+        let map = snapshot.shard_map();
+        // Horizon fingerprints from before any of the epoch commits, so
+        // the commit loop can detect a member whose planning horizon an
+        // earlier commit moved.
+        let pre_horizons: Vec<_> =
+            batch.iter().map(|args| snapshot.effective_horizon(args.deadline_ms)).collect();
+        let threads = std::thread::available_parallelism().map_or(1, usize::from).min(batch.len());
+        if threads <= 1 {
+            for (slot, args) in evaluations.iter_mut().zip(batch) {
+                *slot = Some(snapshot.evaluate(args));
+            }
+        } else {
+            let chunk = batch.len().div_ceil(threads);
+            let snapshot_ref = &*snapshot;
+            crossbeam::thread::scope(|scope| {
+                for (slots, members) in evaluations.chunks_mut(chunk).zip(batch.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, args) in slots.iter_mut().zip(members) {
+                            *slot = Some(snapshot_ref.evaluate(args));
+                        }
+                    });
+                }
+            })
+            .expect("speculation threads do not panic");
+        }
+        (base_version, map, pre_horizons)
+    };
+
+    let mut guard = engine.write();
+    if guard.version() != base_version {
+        // An exclusive operation (inject/optimize, or another leader's
+        // epoch) interleaved: every speculation is suspect. Fall back to
+        // deciding the whole epoch sequentially, still in arrival order.
+        dstage_obs::metrics::SERVICE_BATCH_FALLBACKS.inc();
+        return batch.iter().map(|args| guard.submit(args)).collect();
+    }
+
+    // Sequential commit in arrival order. `epoch_footprint` is the union
+    // of everything committed so far this epoch; `epoch_items` the data
+    // items admitted so far. A member clashing with either (or whose
+    // horizon fingerprint moved) is re-decided against the live state —
+    // the "deterministic retry of losers": retries happen in the same
+    // arrival order and land in the same log positions on every run.
+    let mut epoch_footprint = Footprint::empty(&map);
+    let mut epoch_items: Vec<u32> = Vec::new();
+    let mut results = Vec::with_capacity(batch.len());
+    for ((args, evaluation), pre_horizon) in batch.iter().zip(evaluations).zip(pre_horizons) {
+        let evaluation = evaluation.expect("every member was speculated");
+        let footprint = AdmissionEngine::evaluation_footprint(&map, &evaluation);
+        let item_clash = guard.item_id(&args.item).is_some_and(|item| epoch_items.contains(&item));
+        let footprint_clash = footprint.intersects(&epoch_footprint);
+        let horizon_moved = guard.effective_horizon(args.deadline_ms) != pre_horizon;
+        let result = if item_clash || footprint_clash || horizon_moved {
+            dstage_obs::metrics::SERVICE_CONFLICT_RETRIES.inc();
+            if footprint_clash {
+                for shard in footprint.contended_shards(&epoch_footprint) {
+                    dstage_obs::metrics::SERVICE_SHARD_CONTENTION
+                        [shard % dstage_obs::metrics::SERVICE_SHARD_CONTENTION.len()]
+                    .inc();
+                }
+            }
+            guard.submit(args)
+        } else {
+            guard.submit_with(args, Some(evaluation))
+        };
+        // Whatever path decided the member, fold an admission's residue
+        // into the guards so later members stay checkable. (A replayed
+        // idempotent admission re-merges a footprint the epoch may
+        // already hold — a harmless union.)
+        if let Ok(response) = &result {
+            if let Some(request) = response.request {
+                let committed = guard.request_footprint(&map, request as u32);
+                epoch_footprint.merge(&committed);
+                if let Some(item) = guard.item_id(&args.item) {
+                    epoch_items.push(item);
+                }
+            }
+        }
+        results.push(result);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstage_core::heuristic::{Heuristic, HeuristicConfig};
+    use dstage_workload::{generate, GeneratorConfig};
+
+    fn engine() -> AdmissionEngine {
+        let scenario = generate(&GeneratorConfig::small(), 5);
+        AdmissionEngine::new(&scenario, Heuristic::FullPathOneDestination, {
+            HeuristicConfig::paper_best()
+        })
+    }
+
+    fn args(engine: &AdmissionEngine, pick: usize, deadline_ms: u64) -> SubmitArgs {
+        let items: Vec<String> = engine.item_names().map(str::to_string).collect();
+        SubmitArgs {
+            item: items[pick % items.len()].clone(),
+            destination: (pick % engine.machine_count()) as u32,
+            deadline_ms,
+            priority: (pick % 3) as u8,
+            idempotency_key: None,
+        }
+    }
+
+    /// A batched epoch must produce byte-identical responses and state
+    /// to feeding the same submissions one at a time.
+    #[test]
+    fn epoch_commits_match_sequential_submission() {
+        set_verify(true);
+        let concurrent = RwLock::new(engine());
+        let mut sequential = engine();
+        let batch: Vec<SubmitArgs> =
+            (0..12).map(|i| args(&sequential, i * 7 + 1, 600_000 + i as u64 * 90_000)).collect();
+        let batched = run_epoch(&concurrent, &batch);
+        for (args, batched) in batch.iter().zip(batched) {
+            let expected = sequential.submit(args);
+            assert_eq!(
+                serde_json::to_string(&batched.clone().unwrap()).unwrap(),
+                serde_json::to_string(&expected.unwrap()).unwrap()
+            );
+        }
+        assert_eq!(
+            serde_json::to_string(&concurrent.read().snapshot()).unwrap(),
+            serde_json::to_string(&sequential.snapshot()).unwrap()
+        );
+    }
+
+    /// Empty epochs are a no-op; singleton epochs use the plain path.
+    #[test]
+    fn degenerate_epochs() {
+        let concurrent = RwLock::new(engine());
+        assert!(run_epoch(&concurrent, &[]).is_empty());
+        let one = args(&concurrent.read(), 1, 900_000);
+        let results = run_epoch(&concurrent, std::slice::from_ref(&one));
+        assert_eq!(results.len(), 1);
+        assert_eq!(concurrent.read().submission_count(), 1);
+    }
+}

@@ -223,6 +223,9 @@ fn attempt(options: &Options) -> Result<String, AttemptError> {
     for addr in addrs {
         match TcpStream::connect_timeout(&addr, options.timeout) {
             Ok(s) => {
+                // Single-line request/response: Nagle would add a
+                // delayed-ACK stall to the round trip.
+                let _ = s.set_nodelay(true);
                 stream = Some(s);
                 break;
             }

@@ -24,7 +24,7 @@
 //! order through a fresh engine must produce a byte-identical snapshot.
 
 use std::cmp::Reverse;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use dstage_core::heuristic::{drive_state, Heuristic, HeuristicConfig};
 use dstage_core::schedule::{Delivery, Schedule, Transfer};
@@ -36,6 +36,7 @@ use dstage_model::network::Network;
 use dstage_model::request::{Priority, Request};
 use dstage_model::scenario::Scenario;
 use dstage_model::time::{SimDuration, SimTime};
+use dstage_resources::shard::{Footprint, ShardConfig, ShardMap};
 use serde::Value;
 
 use crate::protocol::{
@@ -45,6 +46,9 @@ use crate::protocol::{
 
 /// Swap budget used when an `optimize` request does not name one.
 pub const DEFAULT_OPTIMIZE_BUDGET: u64 = 8;
+
+/// Idempotency keys the engine remembers before forgetting the oldest.
+pub const IDEMPOTENCY_CAPACITY: usize = 4096;
 
 /// The admission decision recorded for one submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,6 +162,82 @@ struct AdmittedInfo {
     route: Vec<Transfer>,
 }
 
+/// The outcome of evaluating one submission against the engine state,
+/// before any mutation — the unit of speculation for batched admission
+/// (see [`crate::batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Evaluation {
+    /// The candidate cannot be admitted.
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// The candidate fits: committing reserves `route` and promises
+    /// `delivery`.
+    Admitted {
+        /// The validated request.
+        candidate: Request,
+        /// The promised delivery. Its request id is provisional — it is
+        /// reassigned from the live admitted count at commit time, so an
+        /// evaluation speculated against a snapshot stays valid when
+        /// other admissions commit first.
+        delivery: Delivery,
+        /// New link reservations the admission adds to the ledger.
+        route: Vec<Transfer>,
+    },
+}
+
+/// Bounded idempotency-key index with FIFO (insertion-order) eviction.
+///
+/// The unbounded map was a memory leak under sustained keyed traffic.
+/// Bounding it must not break replay of recorded responses, so the
+/// eviction rule is a pure function of the insertion sequence: when a
+/// new key would exceed the capacity, the oldest *inserted* key is
+/// forgotten. Replaying a decision log re-inserts the same keys in the
+/// same order with the same capacity, so the replayed cache matches the
+/// live one at every log index. A client that retries a key after it
+/// aged out of the window is re-decided (and re-logged) instead of
+/// replayed — the same outcome as a retry that never carried a key.
+#[derive(Debug, Clone)]
+struct IdempotencyCache {
+    index: HashMap<String, usize>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl IdempotencyCache {
+    fn new(capacity: usize) -> Self {
+        IdempotencyCache { index: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    fn get(&self, key: &str) -> Option<usize> {
+        self.index.get(key).copied()
+    }
+
+    /// Remembers `key -> submission`, evicting the oldest remembered key
+    /// when full. Callers never insert a key that is already present
+    /// (they replay it instead), so `order` stays duplicate-free.
+    fn insert(&mut self, key: String, submission: usize) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.index.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.index.remove(&oldest);
+        }
+        self.order.push_back(key.clone());
+        self.index.insert(key, submission);
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.index.len() > capacity {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.index.remove(&oldest);
+        }
+    }
+}
+
 /// Thread-safe-by-construction admission-control state (owned data only,
 /// no interior mutability — wrap it in a lock to share).
 #[derive(Debug, Clone)]
@@ -175,8 +255,13 @@ pub struct AdmissionEngine {
     outages: Vec<Outage>,
     losses: Vec<Loss>,
     now: SimTime,
-    idempotency: HashMap<String, usize>,
+    idempotency: IdempotencyCache,
     log: Vec<LogRecord>,
+    /// Monotone operation counter: bumped once per logged operation
+    /// (submission, injection, optimization). The batch committer
+    /// compares it against its snapshot's version to detect interleaved
+    /// exclusive operations.
+    version: u64,
 }
 
 impl AdmissionEngine {
@@ -203,9 +288,23 @@ impl AdmissionEngine {
             outages: Vec::new(),
             losses: Vec::new(),
             now: SimTime::ZERO,
-            idempotency: HashMap::new(),
+            idempotency: IdempotencyCache::new(IDEMPOTENCY_CAPACITY),
             log: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// The monotone state version (one tick per logged operation).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Overrides the idempotency window, trimming oldest keys if needed.
+    /// Testing hook: replay equality requires the replaying engine to
+    /// use the same capacity as the recording one.
+    pub fn set_idempotency_capacity(&mut self, capacity: usize) {
+        self.idempotency.set_capacity(capacity);
     }
 
     /// Names of the data items in the catalog, in id order.
@@ -252,8 +351,32 @@ impl AdmissionEngine {
     /// Returns a message when the `idempotency_key` was already used with
     /// *different* arguments; nothing is logged.
     pub fn submit(&mut self, args: &SubmitArgs) -> Result<SubmitResponse, String> {
+        self.submit_with(args, None)
+    }
+
+    /// Like [`AdmissionEngine::submit`], but may commit an [`Evaluation`]
+    /// speculated against a clone of this engine instead of evaluating
+    /// live. The caller asserts the speculation is still valid — i.e. no
+    /// state change since the snapshot can alter this candidate's
+    /// evaluation; [`crate::batch`] establishes that with its conflict
+    /// guards. With batch verification enabled (`DSTAGE_BATCH_VERIFY`)
+    /// the claim is re-checked against the live state and a divergence
+    /// panics.
+    ///
+    /// An idempotent replay ignores `precomputed` — the recorded
+    /// decision wins, as in the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the `idempotency_key` was already used with
+    /// *different* arguments; nothing is logged.
+    pub fn submit_with(
+        &mut self,
+        args: &SubmitArgs,
+        precomputed: Option<Evaluation>,
+    ) -> Result<SubmitResponse, String> {
         if let Some(key) = &args.idempotency_key {
-            if let Some(&index) = self.idempotency.get(key) {
+            if let Some(index) = self.idempotency.get(key) {
                 let LogRecord::Submission(record) = &self.log[index] else {
                     unreachable!("idempotency keys only index submissions");
                 };
@@ -266,12 +389,37 @@ impl AdmissionEngine {
             }
         }
         let submission = self.log.len() as u64;
-        let decision = self.decide(args);
+        let evaluation = match precomputed {
+            Some(evaluation) => {
+                if crate::batch::verify_enabled() {
+                    // The provisional delivery.request is position-
+                    // dependent (it shifts with every earlier admission)
+                    // and is reassigned at commit, so it is excluded
+                    // from the comparison.
+                    let mut live = self.evaluate(args);
+                    let mut speculated = evaluation.clone();
+                    for side in [&mut live, &mut speculated] {
+                        if let Evaluation::Admitted { delivery, .. } = side {
+                            delivery.request = RequestId::new(0);
+                        }
+                    }
+                    assert!(
+                        live == speculated,
+                        "speculative evaluation diverged from the live state\n  \
+                         speculated: {speculated:?}\n  live: {live:?}"
+                    );
+                }
+                evaluation
+            }
+            None => self.evaluate(args),
+        };
+        let decision = self.apply_evaluation(args, evaluation);
         let response = Self::response_for(submission, &decision);
         if let Some(key) = &args.idempotency_key {
             self.idempotency.insert(key.clone(), submission as usize);
         }
         self.log.push(LogRecord::Submission(SubmissionRecord { args: args.clone(), decision }));
+        self.version += 1;
         Ok(response)
     }
 
@@ -300,24 +448,22 @@ impl AdmissionEngine {
         }
     }
 
-    fn decide(&mut self, args: &SubmitArgs) -> Decision {
-        // Replayed idempotent submissions return before reaching here, so
-        // the decision ledger counts each unique submission exactly once
-        // (decisions = admitted + refused).
-        dstage_obs::metrics::SERVICE_DECISIONS.inc();
-        let reject = |reason: String| {
-            dstage_obs::metrics::SERVICE_REFUSED.inc();
-            Decision::Rejected { reason }
-        };
+    /// Evaluates one submission against the current state without
+    /// mutating anything — the read half of a decision, safe to run
+    /// against a shared snapshot from many threads at once.
+    #[must_use]
+    pub fn evaluate(&self, args: &SubmitArgs) -> Evaluation {
         let Some(&item) = self.item_ids.get(args.item.as_str()) else {
-            return reject(format!("unknown data item `{}`", args.item));
+            return Evaluation::Rejected { reason: format!("unknown data item `{}`", args.item) };
         };
         if args.priority >= self.config.priority_weights.levels() {
-            return reject(format!(
-                "priority {} out of range (weighting has {} levels)",
-                args.priority,
-                self.config.priority_weights.levels()
-            ));
+            return Evaluation::Rejected {
+                reason: format!(
+                    "priority {} out of range (weighting has {} levels)",
+                    args.priority,
+                    self.config.priority_weights.levels()
+                ),
+            };
         }
         let candidate = Request::new(
             DataItemId::new(item),
@@ -327,16 +473,50 @@ impl AdmissionEngine {
         );
         let scenario = match self.build_scenario(Some(candidate)) {
             Ok(s) => s,
-            Err(reason) => return reject(reason),
+            Err(reason) => {
+                // Validation errors name the candidate by its positional
+                // id — `R{admitted count}` — which depends on *when* the
+                // evaluation runs: a speculated rejection would go stale
+                // the moment an earlier epoch member admits. Rewriting
+                // the positional token to a stable label makes the
+                // reason a pure function of the arguments and the
+                // (append-only) admitted set. Admitted requests always
+                // revalidate cleanly, so the token can only be the
+                // candidate's; ids of earlier requests are smaller and
+                // never contain it as a substring.
+                let positional = format!("R{}", self.admitted.len());
+                return Evaluation::Rejected {
+                    reason: reason.replace(&positional, "the candidate"),
+                };
+            }
         };
         let candidate_id = RequestId::new(self.admitted.len() as u32);
         match self.route_candidate(&scenario, candidate_id) {
-            Err(reason) => reject(reason),
-            Ok(None) => reject(format!(
-                "deadline {} ms unreachable for `{}` to M{} under the current ledger",
-                args.deadline_ms, args.item, args.destination
-            )),
-            Ok(Some((delivery, route))) => {
+            Err(reason) => Evaluation::Rejected { reason },
+            Ok(None) => Evaluation::Rejected {
+                reason: format!(
+                    "deadline {} ms unreachable for `{}` to M{} under the current ledger",
+                    args.deadline_ms, args.item, args.destination
+                ),
+            },
+            Ok(Some((delivery, route))) => Evaluation::Admitted { candidate, delivery, route },
+        }
+    }
+
+    /// Commits an evaluation: reserves the route, assigns the request id
+    /// from the *live* admitted count, and bumps the decision counters
+    /// exactly once per unique submission (replayed idempotent
+    /// submissions never reach here).
+    fn apply_evaluation(&mut self, args: &SubmitArgs, evaluation: Evaluation) -> Decision {
+        dstage_obs::metrics::SERVICE_DECISIONS.inc();
+        match evaluation {
+            Evaluation::Rejected { reason } => {
+                dstage_obs::metrics::SERVICE_REFUSED.inc();
+                Decision::Rejected { reason }
+            }
+            Evaluation::Admitted { candidate, mut delivery, route } => {
+                let request = RequestId::new(self.admitted.len() as u32);
+                delivery.request = request;
                 dstage_obs::metrics::SERVICE_ADMIT_SLACK_MS
                     .record(args.deadline_ms.saturating_sub(delivery.at.as_millis()));
                 let new_transfers = route.len();
@@ -348,12 +528,7 @@ impl AdmissionEngine {
                 });
                 self.admitted.push(candidate);
                 dstage_obs::metrics::SERVICE_ADMITTED.inc();
-                Decision::Admitted {
-                    request: candidate_id,
-                    eta: delivery.at,
-                    hops: delivery.hops,
-                    new_transfers,
-                }
+                Decision::Admitted { request, eta: delivery.at, hops: delivery.hops, new_transfers }
             }
         }
     }
@@ -384,6 +559,75 @@ impl AdmissionEngine {
                 plan.transfers().iter().filter(|t| !self.committed.contains(t)).copied().collect();
             (delivery, route)
         }))
+    }
+
+    /// The scenario horizon a candidate with `deadline_ms` would be
+    /// planned under right now — the horizon fingerprint of the batched
+    /// path. The admitted set only grows and deadlines only push the
+    /// horizon out, so an epoch member whose live fingerprint differs
+    /// from its speculated one has observably raced another admission
+    /// and must be re-decided.
+    #[must_use]
+    pub fn effective_horizon(&self, deadline_ms: u64) -> SimTime {
+        let latest = self
+            .admitted
+            .iter()
+            .map(Request::deadline)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .max(SimTime::from_millis(deadline_ms));
+        self.horizon.max(latest + self.gc_delay)
+    }
+
+    /// Shard layout for this engine's network (defaults from
+    /// [`dstage_resources::shard::ShardConfig`]).
+    #[must_use]
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::new(self.network.link_count(), ShardConfig::default())
+    }
+
+    /// Catalog id of `item`, if known.
+    #[must_use]
+    pub fn item_id(&self, item: &str) -> Option<u32> {
+        self.item_ids.get(item).copied()
+    }
+
+    /// The sharded resource footprint committing `evaluation` would
+    /// consume: its route's link busy windows, every machine the route
+    /// stages a copy on, and the destination (whose hold policy the
+    /// admission changes). Rejections commit nothing and have an empty
+    /// footprint.
+    #[must_use]
+    pub fn evaluation_footprint(map: &ShardMap, evaluation: &Evaluation) -> Footprint {
+        let mut footprint = Footprint::empty(map);
+        if let Evaluation::Admitted { candidate, route, .. } = evaluation {
+            for t in route {
+                footprint.record_link(map, t.link, t.start, t.arrival);
+                footprint.record_machine(map, t.from);
+                footprint.record_machine(map, t.to);
+            }
+            footprint.record_machine(map, candidate.destination());
+        }
+        footprint
+    }
+
+    /// The footprint of an already-admitted request's current route —
+    /// how sequentially re-decided epoch members fold into the epoch's
+    /// conflict guards (see [`crate::batch`]).
+    #[must_use]
+    pub fn request_footprint(&self, map: &ShardMap, request: u32) -> Footprint {
+        let mut footprint = Footprint::empty(map);
+        if let Some(info) = self.info.get(request as usize) {
+            for t in &info.route {
+                footprint.record_link(map, t.link, t.start, t.arrival);
+                footprint.record_machine(map, t.from);
+                footprint.record_machine(map, t.to);
+            }
+        }
+        if let Some(req) = self.admitted.get(request as usize) {
+            footprint.record_machine(map, req.destination());
+        }
+        footprint
     }
 
     fn build_scenario(&self, candidate: Option<Request>) -> Result<Scenario, String> {
@@ -465,6 +709,7 @@ impl AdmissionEngine {
             repaired,
             evicted,
         }));
+        self.version += 1;
         Ok(response)
     }
 
@@ -640,6 +885,7 @@ impl AdmissionEngine {
             weighted_sum: incumbent,
         };
         self.log.push(LogRecord::Optimization(OptimizationRecord { budget, attempted, swaps }));
+        self.version += 1;
         response
     }
 
@@ -1199,6 +1445,51 @@ mod tests {
         let err = e.submit(&conflicting).unwrap_err();
         assert!(err.contains("different arguments"), "got: {err}");
         assert_eq!(e.submission_count(), 1);
+    }
+
+    #[test]
+    fn idempotency_window_evicts_oldest_and_replay_stays_identical() {
+        let mut e = engine();
+        e.set_idempotency_capacity(2);
+        let item = e.item_names().next().unwrap().to_string();
+        let dest = (e.machine_count() - 1) as u32;
+        let keyed = |key: &str, deadline_ms: u64| {
+            let mut a = args(&item, dest, deadline_ms);
+            a.idempotency_key = Some(key.to_string());
+            a
+        };
+        e.submit(&keyed("k1", 7_200_000)).unwrap();
+        e.submit(&keyed("k2", 7_100_000)).unwrap();
+        // Inserting k3 evicts k1 (oldest inserted).
+        e.submit(&keyed("k3", 7_000_000)).unwrap();
+        assert_eq!(e.submission_count(), 3);
+        // k3 is still remembered: the retry replays without logging.
+        e.submit(&keyed("k3", 7_000_000)).unwrap();
+        assert_eq!(e.submission_count(), 3);
+        // k1 aged out: the retry is re-decided and re-logged — same
+        // outcome as a keyless retry, never a wrong replay.
+        e.submit(&keyed("k1", 7_200_000)).unwrap();
+        assert_eq!(e.submission_count(), 4);
+        // Reusing an evicted key with different arguments is no longer a
+        // conflict (the window forgot it) — it decides fresh.
+        e.submit(&keyed("k2", 6_900_000)).unwrap();
+        assert_eq!(e.submission_count(), 5);
+        // ... while the still-remembered k1 does conflict.
+        e.submit(&keyed("k1", 1)).unwrap_err();
+
+        // Replay through a fresh engine with the same capacity rebuilds
+        // a byte-identical snapshot, eviction sequence included.
+        let snapshot = e.snapshot();
+        let Some(Value::Array(log)) = snapshot.get("log") else { panic!("no log") };
+        let mut replayed = engine();
+        replayed.set_idempotency_capacity(2);
+        for entry in log {
+            replayed.replay_record(entry).unwrap();
+        }
+        assert_eq!(
+            serde_json::to_string(&snapshot).unwrap(),
+            serde_json::to_string(&replayed.snapshot()).unwrap()
+        );
     }
 
     #[test]

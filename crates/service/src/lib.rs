@@ -10,6 +10,9 @@
 //! * [`engine::AdmissionEngine`] — deterministic admission +
 //!   fault-tolerance state (catalog, admitted requests, committed
 //!   reservations, injected disturbances, repair outcomes);
+//! * [`batch`] — epoch-batched admission: concurrent submissions
+//!   speculate in parallel against a snapshot and commit in arrival
+//!   order with sharded-footprint conflict detection;
 //! * [`protocol`] — the six-verb NDJSON wire protocol (`submit`,
 //!   `query`, `inject`, `snapshot`, `metrics`, `shutdown`), with
 //!   idempotent retries via `idempotency_key` on `submit`;
@@ -62,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod protocol;
 pub mod retry;
@@ -69,9 +73,10 @@ pub mod server;
 
 /// Convenience re-exports of the service vocabulary.
 pub mod prelude {
+    pub use crate::batch::run_epoch;
     pub use crate::engine::{
-        AdmissionCounters, AdmissionEngine, Decision, InjectionRecord, LogRecord, RequestStatus,
-        SubmissionRecord,
+        AdmissionCounters, AdmissionEngine, Decision, Evaluation, InjectionRecord, LogRecord,
+        RequestStatus, SubmissionRecord,
     };
     pub use crate::protocol::{
         ClientRequest, ErrorResponse, InjectArgs, InjectKind, InjectResponse, QueryResponse,

@@ -1,17 +1,22 @@
 //! The TCP daemon: accept loop, crossbeam worker pool, and the shared
 //! engine behind a `parking_lot::RwLock`.
 //!
-//! Submissions, injections, and optimization passes take the write lock
-//! (all three mutate the ledger) and are therefore serialized — the order in which concurrent
-//! clients win the lock *is* the decision order, and the snapshot records
-//! it, so a sequential replay of the same order reproduces the state byte
-//! for byte. Queries, snapshots, and metrics take the read lock and can
-//! run concurrently with each other.
+//! Concurrent submissions are admitted in **epoch batches** (see
+//! [`crate::batch`]): workers enqueue their submission, one of them
+//! becomes the epoch leader, speculates the whole batch in parallel
+//! against a read snapshot, and commits under a single write-lock
+//! acquisition. The commit order *is* the decision order, the snapshot
+//! records it, and a sequential replay of that order reproduces the
+//! state byte for byte. Injections and optimization passes still take
+//! the write lock directly (both are rare, exclusive operations);
+//! queries, snapshots, and metrics take the read lock and run
+//! concurrently with each other.
 //!
 //! Request lines are bounded at [`MAX_LINE_BYTES`]: a client streaming an
 //! endless line gets one error response and is disconnected instead of
 //! growing a worker's buffer without limit.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,7 +29,9 @@ use parking_lot::{Mutex, RwLock};
 use serde::Value;
 
 use crate::engine::{AdmissionEngine, DEFAULT_OPTIMIZE_BUDGET};
-use crate::protocol::{response_line, ClientRequest, ErrorResponse, MetricsFormat};
+use crate::protocol::{
+    response_line, ClientRequest, ErrorResponse, MetricsFormat, SubmitArgs, SubmitResponse,
+};
 
 /// Longest accepted request line, in bytes (newline excluded). Anything
 /// longer gets an error response and the connection is dropped — the
@@ -63,7 +70,10 @@ impl LatencyHistogram {
             .unwrap_or(BUCKET_BOUNDS_US.len());
         self.counts[bucket] += 1;
         self.count += 1;
-        self.sum_us += micros;
+        // Saturating: near u64::MAX an unchecked sum wraps and corrupts
+        // `mean_us` (or panics in debug builds); a pinned-at-max sum
+        // merely over-reports the mean, which the mean then clamps.
+        self.sum_us = self.sum_us.saturating_add(micros);
         self.max_us = self.max_us.max(micros);
     }
 
@@ -83,8 +93,9 @@ impl LatencyHistogram {
         // Round instead of truncating: `sum / count` floors, which
         // under-reports by up to a microsecond and (worse) reports
         // `mean == 0` for any all-sub-microsecond-rounded sample mix
-        // like [0, 1, 1] where the nearest integer is 1.
-        (self.sum_us + self.count / 2) / self.count
+        // like [0, 1, 1] where the nearest integer is 1. Saturating:
+        // the rounding addend must not wrap a sum pinned at the max.
+        self.sum_us.saturating_add(self.count / 2) / self.count
     }
 
     /// Upper bound (µs) of the bucket containing the `p`-quantile;
@@ -159,10 +170,32 @@ impl Default for ServerConfig {
     }
 }
 
+/// How long a worker keeps serving an already-accepted connection after
+/// shutdown begins: in-flight requests still get responses, but a client
+/// that goes silent cannot pin the drain forever.
+pub const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// One submission waiting for its epoch, and the channel its decision
+/// comes back on.
+struct PendingSubmit {
+    args: SubmitArgs,
+    reply: channel::Sender<Result<SubmitResponse, String>>,
+}
+
+/// The epoch collector: submissions queue here, and whichever worker
+/// holds `leader` drains the queue and commits the batch (flat-combining
+/// style — followers just wait for their reply).
+#[derive(Default)]
+struct BatchQueue {
+    pending: Mutex<VecDeque<PendingSubmit>>,
+    leader: Mutex<()>,
+}
+
 /// State shared by the accept loop and every worker.
 struct Shared {
     engine: RwLock<AdmissionEngine>,
     latency: Mutex<LatencyHistogram>,
+    batch: BatchQueue,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -189,6 +222,7 @@ impl Server {
             shared: Arc::new(Shared {
                 engine: RwLock::new(engine),
                 latency: Mutex::new(LatencyHistogram::new()),
+                batch: BatchQueue::default(),
                 shutdown: AtomicBool::new(false),
                 addr,
             }),
@@ -228,10 +262,15 @@ impl Server {
         while !self.shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    if self.shared.shutdown.load(Ordering::SeqCst) {
-                        break; // the wake-up poke from the shutdown verb
-                    }
-                    if sender.send(stream).is_err() {
+                    let draining = self.shared.shutdown.load(Ordering::SeqCst);
+                    // Queue the stream even when draining: a connection
+                    // that raced the shutdown poke was *accepted* and must
+                    // still get responses — the workers drain the whole
+                    // channel before exiting, so dropping it here would
+                    // close it without a word. (The poke connection itself
+                    // also lands in the queue; it sends nothing and costs
+                    // one EOF read.)
+                    if sender.send(stream).is_err() || draining {
                         break;
                     }
                 }
@@ -252,13 +291,21 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     // Poll with a short read timeout so idle connections notice the
     // shutdown flag instead of pinning a drained worker forever.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    // One small write per response: Nagle + delayed ACK would stall
+    // every round trip by tens of milliseconds otherwise.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut line = Vec::new();
+    // Set when the first post-shutdown timeout tick is observed on this
+    // connection; the worker keeps serving complete lines until it
+    // expires, so an in-flight request that raced the shutdown still
+    // gets its response.
+    let mut drain_deadline: Option<Instant> = None;
     loop {
         line.clear();
-        match read_bounded_line(&mut reader, &mut line, shared) {
+        match read_bounded_line(&mut reader, &mut line, shared, &mut drain_deadline) {
             // EOF (including mid-line), hard error, or draining: the
             // worker moves on to the next connection.
             LineRead::Closed => return,
@@ -300,12 +347,15 @@ enum LineRead {
 }
 
 /// Reads one newline-terminated line into `line`, riding out read-timeout
-/// ticks (bailing once the server is draining) and refusing to buffer
-/// more than [`MAX_LINE_BYTES`].
+/// ticks and refusing to buffer more than [`MAX_LINE_BYTES`]. Once the
+/// server is draining the connection gets [`SHUTDOWN_DRAIN_GRACE`] (from
+/// its first post-shutdown tick, tracked in `drain_deadline`) to finish
+/// in-flight lines before the worker moves on.
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     line: &mut Vec<u8>,
     shared: &Shared,
+    drain_deadline: &mut Option<Instant>,
 ) -> LineRead {
     loop {
         // The chunk handling is split from `fill_buf` so the borrow ends
@@ -326,7 +376,11 @@ fn read_bounded_line(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return LineRead::Closed;
+                    let deadline = *drain_deadline
+                        .get_or_insert_with(|| Instant::now() + SHUTDOWN_DRAIN_GRACE);
+                    if Instant::now() >= deadline {
+                        return LineRead::Closed;
+                    }
                 }
                 None
             }
@@ -379,11 +433,42 @@ fn dispatch(shared: &Shared, line: &str) -> String {
     response
 }
 
+/// Enqueues one submission and waits for its epoch to commit.
+///
+/// Flat-combining: the caller parks its request in the shared queue, then
+/// races for the leader lock. Whoever wins drains the queue — its own
+/// entry included — and runs [`crate::batch::run_epoch`] for the whole
+/// epoch; everyone else finds their reply waiting when the leader lock
+/// frees up. The loop terminates after at most two leader acquisitions:
+/// once we hold `leader`, our entry is either already answered (a
+/// previous leader drained it) or still queued and drained by us now.
+fn batched_submit(shared: &Shared, args: SubmitArgs) -> Result<SubmitResponse, String> {
+    let (reply, inbox) = channel::bounded(1);
+    shared.batch.pending.lock().push_back(PendingSubmit { args, reply });
+    loop {
+        if let Ok(result) = inbox.try_recv() {
+            return result;
+        }
+        let _leader = shared.batch.leader.lock();
+        if let Ok(result) = inbox.try_recv() {
+            return result;
+        }
+        let epoch: Vec<PendingSubmit> = shared.batch.pending.lock().drain(..).collect();
+        let batch: Vec<SubmitArgs> = epoch.iter().map(|pending| pending.args.clone()).collect();
+        let results = crate::batch::run_epoch(&shared.engine, &batch);
+        for (pending, result) in epoch.into_iter().zip(results) {
+            // A follower that vanished (dead connection) just drops the
+            // receiver; its decision is already logged either way.
+            let _ = pending.reply.send(result);
+        }
+    }
+}
+
 fn dispatch_parsed(shared: &Shared, request: ClientRequest) -> String {
     match request {
         ClientRequest::Submit(args) => {
             let start = Instant::now();
-            let result = shared.engine.write().submit(&args);
+            let result = batched_submit(shared, args);
             match result {
                 Ok(response) => {
                     let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);

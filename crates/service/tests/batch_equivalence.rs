@@ -1,0 +1,127 @@
+//! Lockstep equivalence of batched and single-lock admission (the
+//! batching analogue of `dstage-core`'s cache-consistency suite).
+//!
+//! Two engines are driven through the same randomized operation
+//! sequence: epochs of concurrent-style submissions go through
+//! `run_epoch` on one and one-at-a-time `submit` on the other, with
+//! injections and optimization passes interleaved through the plain
+//! write-lock path on both. Every response pair, the final snapshots,
+//! and a from-scratch replay of the decision log must agree byte for
+//! byte — with paranoid verify mode on, so any speculative commit that
+//! diverges from the live decision panics on the spot.
+
+use dstage_core::heuristic::{Heuristic, HeuristicConfig};
+use dstage_model::scenario::Scenario;
+use dstage_service::batch::{run_epoch, set_verify};
+use dstage_service::engine::AdmissionEngine;
+use dstage_service::protocol::{InjectArgs, InjectKind, SubmitArgs};
+use dstage_workload::{generate, GeneratorConfig};
+use parking_lot::RwLock;
+use proptest::prelude::*;
+
+fn engine(scenario: &Scenario) -> AdmissionEngine {
+    AdmissionEngine::new(scenario, Heuristic::FullPathOneDestination, {
+        HeuristicConfig::paper_best()
+    })
+}
+
+fn submit_args(scenario: &Scenario, pick: usize, sequence: usize, deadline_ms: u64) -> SubmitArgs {
+    let items: Vec<&str> = scenario.item_ids().map(|i| scenario.item(i).name()).collect();
+    SubmitArgs {
+        item: items[pick % items.len()].to_string(),
+        destination: (pick % scenario.network().machine_count()) as u32,
+        deadline_ms,
+        priority: (pick % 3) as u8,
+        // Every third submission carries a key so epochs also exercise
+        // the bounded idempotency window.
+        idempotency_key: sequence.is_multiple_of(3).then(|| format!("pb-{sequence}")),
+    }
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_epochs_with_mixed_ops_stay_in_lockstep(
+        seed in 0u64..6,
+        ops in prop::collection::vec((0u8..8, 0usize..64, 0u64..900, 2usize..7), 1..10),
+    ) {
+        set_verify(true);
+        let scenario = generate(&GeneratorConfig::small(), seed);
+        let links = scenario.network().link_count();
+        let machines = scenario.network().machine_count();
+        let concurrent = RwLock::new(engine(&scenario));
+        let mut sequential = engine(&scenario);
+
+        let mut sequence = 0usize;
+        for &(op, pick, time, width) in &ops {
+            match op {
+                // An epoch of `width` submissions: batched on one side,
+                // fed one at a time (in the same arrival order — the
+                // order run_epoch logs) on the other.
+                0..=4 => {
+                    let batch: Vec<SubmitArgs> = (0..width)
+                        .map(|member| {
+                            let deadline = 400_000 + time * 7_000 + member as u64 * 90_000;
+                            submit_args(&scenario, pick + member * 11, sequence + member, deadline)
+                        })
+                        .collect();
+                    sequence += width;
+                    let batched = run_epoch(&concurrent, &batch);
+                    prop_assert_eq!(batched.len(), batch.len());
+                    for (args, batched) in batch.iter().zip(batched) {
+                        let expected = sequential.submit(args);
+                        prop_assert_eq!(
+                            batched.as_ref().map(json).map_err(String::clone),
+                            expected.as_ref().map(json).map_err(String::clone)
+                        );
+                    }
+                }
+                // A disturbance through the exclusive write-lock path.
+                5 | 6 => {
+                    let kind = if pick % 2 == 0 {
+                        InjectKind::LinkOutage { link: (pick / 2 % links.max(1)) as u32 }
+                    } else {
+                        let item = scenario
+                            .item_ids()
+                            .map(|i| scenario.item(i).name().to_string())
+                            .nth(pick % scenario.item_count())
+                            .expect("item index in range");
+                        InjectKind::CopyLoss { item, machine: (pick % machines) as u32 }
+                    };
+                    let args = InjectArgs { kind, at_ms: time * 1_000 };
+                    let live = concurrent.write().inject(&args);
+                    let mirror = sequential.inject(&args);
+                    prop_assert_eq!(
+                        live.as_ref().map(json).map_err(String::clone),
+                        mirror.as_ref().map(json).map_err(String::clone)
+                    );
+                }
+                // An optimization pass, also exclusive.
+                _ => {
+                    let budget = (pick % 3 + 1) as u64;
+                    let live = concurrent.write().optimize(budget);
+                    let mirror = sequential.optimize(budget);
+                    prop_assert_eq!(json(&live), json(&mirror));
+                }
+            }
+        }
+
+        let live_snapshot = json(&concurrent.read().snapshot());
+        prop_assert_eq!(&live_snapshot, &json(&sequential.snapshot()));
+
+        // Single-lock replay of the logged commit order rebuilds the
+        // batched engine's snapshot byte for byte.
+        let mut replayed = engine(&scenario);
+        let snapshot = concurrent.read().snapshot();
+        let log = snapshot.get("log").and_then(serde::Value::as_array).expect("snapshot log");
+        for entry in log {
+            replayed.replay_record(entry).expect("replay log record");
+        }
+        prop_assert_eq!(&json(&replayed.snapshot()), &live_snapshot);
+    }
+}

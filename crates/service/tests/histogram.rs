@@ -82,6 +82,34 @@ proptest! {
         prop_assert_eq!(h.mean_us(), reference_mean(&samples), "samples {:?}", samples);
     }
 
+    /// Regression: `record` used an unchecked `sum_us += micros`, so a
+    /// handful of huge observations (e.g. the `u64::MAX` sentinel a
+    /// failed `Instant` conversion produces) wrapped the sum — panicking
+    /// in debug builds and corrupting the mean in release. The sum must
+    /// saturate instead, pinning the mean at a sane upper bound.
+    #[test]
+    fn huge_observations_saturate_instead_of_wrapping(
+        samples in prop::collection::vec(0u64..3_000_000, 0..50),
+        huge in prop::collection::vec((u64::MAX - 1_000_000)..=u64::MAX, 1..5),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in samples.iter().chain(&huge) {
+            h.record(s); // must not overflow-panic
+        }
+        let n = (samples.len() + huge.len()) as u64;
+        prop_assert_eq!(h.count(), n);
+        // The saturated sum still yields a mean within the observed range
+        // and at least the naive saturating reference (which the true
+        // mean would meet or exceed as well).
+        let mean = h.mean_us();
+        prop_assert!(mean <= u64::MAX / n + 1, "mean {} exceeds any real average", mean);
+        let saturated_ref = samples
+            .iter()
+            .chain(&huge)
+            .fold(0u64, |acc, &s| acc.saturating_add(s));
+        prop_assert_eq!(mean, saturated_ref.saturating_add(n / 2) / n);
+    }
+
     #[test]
     fn percentiles_are_monotone_in_p(
         samples in prop::collection::vec(0u64..3_000_000, 1..100),

@@ -34,7 +34,7 @@ fn config() -> HeuristicConfig {
 }
 
 /// Starts the daemon on an ephemeral port and returns (child, addr).
-fn spawn_server(scenario_path: &std::path::Path) -> (Child, String) {
+fn spawn_server(scenario_path: &std::path::Path, workers: usize) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_stage-serve"))
         .args([
             "--scenario",
@@ -42,7 +42,7 @@ fn spawn_server(scenario_path: &std::path::Path) -> (Child, String) {
             "--addr",
             "127.0.0.1:0",
             "--workers",
-            "8",
+            &workers.to_string(),
             "--heuristic",
             "full-one",
             "--criterion",
@@ -83,14 +83,32 @@ fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
     (BufReader::new(stream.try_clone().expect("clone stream")), stream)
 }
 
+/// Byte-identity at 8 workers — the daemon's default-ish pool size.
 #[test]
 fn concurrent_decisions_match_sequential_replay_byte_for_byte() {
+    exercise_loopback(8);
+}
+
+/// Byte-identity at 4 workers: small epochs, frequent leader handoffs.
+#[test]
+fn four_worker_batches_match_sequential_replay() {
+    exercise_loopback(4);
+}
+
+/// Byte-identity at 16 workers: the largest epochs the client count can
+/// form, maximizing speculative commits and conflict retries.
+#[test]
+fn sixteen_worker_batches_match_sequential_replay() {
+    exercise_loopback(16);
+}
+
+fn exercise_loopback(workers: usize) {
     let scenario = catalog();
-    let scenario_path =
-        std::env::temp_dir().join(format!("dstage-loopback-{}-{SEED}.json", std::process::id()));
+    let scenario_path = std::env::temp_dir()
+        .join(format!("dstage-loopback-{}-{SEED}-w{workers}.json", std::process::id()));
     std::fs::write(&scenario_path, serde_json::to_string(&scenario).expect("serialize catalog"))
         .expect("write catalog file");
-    let (mut child, addr) = spawn_server(&scenario_path);
+    let (mut child, addr) = spawn_server(&scenario_path, workers);
 
     // The catalog's request stream, as wire submissions.
     let submissions: Vec<String> = scenario
@@ -105,14 +123,17 @@ fn concurrent_decisions_match_sequential_replay_byte_for_byte() {
             )
         })
         .collect();
+    // One connection per worker (floored so every client still has a
+    // couple of lines), so the pool can actually fill epochs that wide.
+    let clients = workers.min(submissions.len() / 2).max(1);
     assert!(
         submissions.len() >= CLIENTS * 2,
         "need a few submissions per client, got {}",
         submissions.len()
     );
 
-    // Concurrent phase: CLIENTS connections submitting disjoint chunks.
-    let chunk_len = submissions.len().div_ceil(CLIENTS);
+    // Concurrent phase: `clients` connections submitting disjoint chunks.
+    let chunk_len = submissions.len().div_ceil(clients);
     let mut clients = Vec::new();
     for chunk in submissions.chunks(chunk_len) {
         let chunk = chunk.to_vec();
