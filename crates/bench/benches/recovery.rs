@@ -1,0 +1,166 @@
+//! Recovery benchmark for the durability layer: populates a data
+//! directory with a paper-scale decision log, then measures the two
+//! restart paths — replaying the whole WAL record by record, and
+//! loading a checkpoint that covers it — plus the checkpoint write
+//! itself. Writes records/sec replayed and checkpoint load/save wall
+//! times to `BENCH_recovery.json`.
+//!
+//! Usage (a plain `main` target, not a criterion harness):
+//!
+//! ```text
+//! cargo bench -p dstage-bench --bench recovery -- [--records N] [--out PATH]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dstage_core::heuristic::{Heuristic, HeuristicConfig};
+use dstage_service::durability::Durability;
+use dstage_service::protocol::SubmitArgs;
+use dstage_service::wal::FsyncPolicy;
+use dstage_workload::{generate, GeneratorConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RecoveryBench {
+    records: u64,
+    generator: &'static str,
+    heuristic: &'static str,
+    wal_bytes: u64,
+    populate_secs: f64,
+    replay_secs: f64,
+    replay_records_per_sec: f64,
+    checkpoint_write_secs: f64,
+    checkpoint_bytes: u64,
+    checkpoint_load_secs: f64,
+    checkpoint_speedup: f64,
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dstage-bench-recovery-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn main() {
+    let mut records = 2_000u64;
+    let mut out = String::from("results/BENCH_recovery.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--records" => {
+                records = args.next().and_then(|v| v.parse().ok()).expect("--records N");
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            // cargo bench passes --bench (and test-harness flags); ignore.
+            _ => {}
+        }
+    }
+
+    let catalog = generate(&GeneratorConfig::paper(), 11);
+    let heuristic = Heuristic::FullPathOneDestination;
+    let config = HeuristicConfig::paper_best();
+    let dir = temp_dir();
+
+    // Populate: one keyed decision per record, committed under the
+    // interval policy so the populate phase is IO-bound on writes, not
+    // fsyncs (the replay being measured is identical either way).
+    println!("[recovery] populating {records} decisions on the paper catalog");
+    let populate_started = Instant::now();
+    let (durability, mut engine, _) = Durability::recover(
+        &dir,
+        FsyncPolicy::Never,
+        u64::MAX,
+        &catalog,
+        heuristic,
+        config.clone(),
+    )
+    .expect("recover empty dir");
+    let items: Vec<String> = engine.item_names().map(str::to_string).collect();
+    let machines = engine.machine_count();
+    for i in 0..records {
+        let pick = i as usize;
+        engine
+            .submit(&SubmitArgs {
+                item: items[pick % items.len()].clone(),
+                destination: (pick % machines) as u32,
+                deadline_ms: 3_600_000 + i * 60_000,
+                priority: (pick % 3) as u8,
+                idempotency_key: Some(format!("bench-{i}")),
+            })
+            .expect("fresh idempotency key");
+        let seq = durability.stage(&engine);
+        durability.commit(seq);
+    }
+    durability.finalize();
+    let populate_secs = populate_started.elapsed().as_secs_f64();
+    let wal_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("read data dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "log"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    drop(durability);
+    println!("[recovery] populate: {populate_secs:.2}s, WAL {wal_bytes} bytes");
+
+    // Cold restart #1: the whole log replays through the WAL path.
+    let replay_started = Instant::now();
+    let (durability, engine, report) = Durability::recover(
+        &dir,
+        FsyncPolicy::Never,
+        u64::MAX,
+        &catalog,
+        heuristic,
+        config.clone(),
+    )
+    .expect("recover WAL-only dir");
+    let replay_secs = replay_started.elapsed().as_secs_f64();
+    assert_eq!(report.replayed, records, "every decision must replay");
+    let replay_rate = records as f64 / replay_secs.max(1e-9);
+    println!("[recovery] WAL replay: {replay_secs:.2}s ({replay_rate:.0} records/sec)");
+
+    // Checkpoint write, then cold restart #2: the checkpoint covers the
+    // log, so recovery loads the snapshot and replays nothing.
+    let write_started = Instant::now();
+    let stats = durability.checkpoint(&engine).expect("write checkpoint");
+    let checkpoint_write_secs = write_started.elapsed().as_secs_f64();
+    assert_eq!(stats.covered, records, "checkpoint must cover the whole log");
+    drop((durability, engine));
+    println!("[recovery] checkpoint write: {checkpoint_write_secs:.2}s, {} bytes", stats.bytes);
+
+    let load_started = Instant::now();
+    let (_, _, report) =
+        Durability::recover(&dir, FsyncPolicy::Never, u64::MAX, &catalog, heuristic, config)
+            .expect("recover checkpointed dir");
+    let checkpoint_load_secs = load_started.elapsed().as_secs_f64();
+    assert_eq!(report.checkpoint_records, records, "checkpoint must carry every decision");
+    assert_eq!(report.replayed, 0, "a covering checkpoint leaves no WAL tail");
+    println!("[recovery] checkpoint load: {checkpoint_load_secs:.2}s");
+
+    let speedup = replay_secs / checkpoint_load_secs.max(1e-9);
+    println!("[recovery] checkpoint restart speedup: {speedup:.1}x");
+
+    let bench = RecoveryBench {
+        records,
+        generator: "paper",
+        heuristic: "full_path_one_destination",
+        wal_bytes,
+        populate_secs,
+        replay_secs,
+        replay_records_per_sec: replay_rate,
+        checkpoint_write_secs,
+        checkpoint_bytes: stats.bytes,
+        checkpoint_load_secs,
+        checkpoint_speedup: speedup,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench report");
+    let path = std::path::Path::new(&out);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create bench report directory");
+    }
+    std::fs::write(path, json).expect("write bench report");
+    println!("[recovery] wrote {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

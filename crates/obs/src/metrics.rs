@@ -75,6 +75,23 @@ pub static SERVICE_SHARD_CONTENTION: [Counter; 8] = [
     Counter::new(),
     Counter::new(),
 ];
+/// Records appended to the write-ahead decision log.
+pub static SERVICE_WAL_APPENDS: Counter = Counter::new();
+/// Bytes appended to the write-ahead decision log (frame headers
+/// included).
+pub static SERVICE_WAL_BYTES: Counter = Counter::new();
+/// fsync (fdatasync) calls issued against the write-ahead log.
+pub static SERVICE_WAL_FSYNCS: Counter = Counter::new();
+/// Wall time of each WAL fsync.
+pub static SERVICE_WAL_FSYNC_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
+/// Checkpoints written (manual `checkpoint` verb + periodic triggers).
+pub static SERVICE_CHECKPOINTS: Counter = Counter::new();
+/// Decision-log records replayed from the WAL during recovery.
+pub static SERVICE_RECOVERY_REPLAYED: Counter = Counter::new();
+/// Torn or corrupt WAL records truncated during recovery.
+pub static SERVICE_RECOVERY_TRUNCATED: Counter = Counter::new();
+/// Wall time of each recovery (checkpoint load + WAL replay).
+pub static SERVICE_RECOVERY_WALL_US: Histogram = Histogram::new(&LATENCY_BOUNDS_US);
 
 /// Upper bucket bounds for the epoch-size histogram.
 pub const BATCH_SIZE_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
@@ -372,6 +389,62 @@ pub fn registry() -> &'static [MetricDef] {
             layer: "service",
             label: Some(("shard", "s7")),
             kind: Counter(&SERVICE_SHARD_CONTENTION[7]),
+        },
+        MetricDef {
+            name: "dstage_service_wal_appends_total",
+            help: "Records appended to the write-ahead decision log",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_WAL_APPENDS),
+        },
+        MetricDef {
+            name: "dstage_service_wal_bytes_total",
+            help: "Bytes appended to the write-ahead decision log",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_WAL_BYTES),
+        },
+        MetricDef {
+            name: "dstage_service_wal_fsyncs_total",
+            help: "fsync calls issued against the write-ahead log",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_WAL_FSYNCS),
+        },
+        MetricDef {
+            name: "dstage_service_wal_fsync_us",
+            help: "Wall time of each WAL fsync, microseconds",
+            layer: "service",
+            label: None,
+            kind: Histogram(&SERVICE_WAL_FSYNC_US),
+        },
+        MetricDef {
+            name: "dstage_service_checkpoints_total",
+            help: "Engine checkpoints written (manual and periodic)",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_CHECKPOINTS),
+        },
+        MetricDef {
+            name: "dstage_service_recovery_replayed_total",
+            help: "Decision-log records replayed from the WAL during recovery",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_RECOVERY_REPLAYED),
+        },
+        MetricDef {
+            name: "dstage_service_recovery_truncated_total",
+            help: "Torn or corrupt WAL records truncated during recovery",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_RECOVERY_TRUNCATED),
+        },
+        MetricDef {
+            name: "dstage_service_recovery_wall_us",
+            help: "Wall time of each recovery (checkpoint load + WAL replay), microseconds",
+            layer: "service",
+            label: None,
+            kind: Histogram(&SERVICE_RECOVERY_WALL_US),
         },
         MetricDef {
             name: "dstage_resources_probes_total",

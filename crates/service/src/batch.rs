@@ -50,6 +50,7 @@ use std::sync::OnceLock;
 
 use parking_lot::RwLock;
 
+use crate::durability::Durability;
 use crate::engine::{AdmissionEngine, Evaluation};
 use crate::protocol::{SubmitArgs, SubmitResponse};
 use dstage_resources::shard::Footprint;
@@ -89,13 +90,36 @@ pub fn run_epoch(
     engine: &RwLock<AdmissionEngine>,
     batch: &[SubmitArgs],
 ) -> Vec<Result<SubmitResponse, String>> {
+    run_epoch_durable(engine, batch, None)
+}
+
+/// [`run_epoch`] with write-ahead logging: before the write lock is
+/// released at any exit (speculative commit, sequential fallback, or
+/// the singleton path), every record the epoch appended to the decision
+/// log is staged into the WAL — in commit order, under the same lock
+/// that ordered the decisions — and the epoch's responses are released
+/// only after [`Durability::commit`] has applied the fsync policy. The
+/// leader commits for its followers: a follower's reply cannot overtake
+/// the WAL.
+pub fn run_epoch_durable(
+    engine: &RwLock<AdmissionEngine>,
+    batch: &[SubmitArgs],
+    durability: Option<&Durability>,
+) -> Vec<Result<SubmitResponse, String>> {
     if batch.is_empty() {
         return Vec::new();
     }
     dstage_obs::metrics::SERVICE_BATCHES.inc();
     dstage_obs::metrics::SERVICE_BATCH_SIZE.record(batch.len() as u64);
     if batch.len() == 1 {
-        return vec![engine.write().submit(&batch[0])];
+        let mut guard = engine.write();
+        let result = guard.submit(&batch[0]);
+        let staged = durability.map(|d| d.stage(&guard));
+        drop(guard);
+        if let (Some(d), Some(seq)) = (durability, staged) {
+            d.commit(seq);
+        }
+        return vec![result];
     }
 
     // Parallel speculation under the *read* lock: every member evaluates
@@ -145,7 +169,13 @@ pub fn run_epoch(
         // epoch) interleaved: every speculation is suspect. Fall back to
         // deciding the whole epoch sequentially, still in arrival order.
         dstage_obs::metrics::SERVICE_BATCH_FALLBACKS.inc();
-        return batch.iter().map(|args| guard.submit(args)).collect();
+        let results: Vec<_> = batch.iter().map(|args| guard.submit(args)).collect();
+        let staged = durability.map(|d| d.stage(&guard));
+        drop(guard);
+        if let (Some(d), Some(seq)) = (durability, staged) {
+            d.commit(seq);
+        }
+        return results;
     }
 
     // Sequential commit in arrival order. `epoch_footprint` is the union
@@ -190,6 +220,11 @@ pub fn run_epoch(
             }
         }
         results.push(result);
+    }
+    let staged = durability.map(|d| d.stage(&guard));
+    drop(guard);
+    if let (Some(d), Some(seq)) = (durability, staged) {
+        d.commit(seq);
     }
     results
 }

@@ -15,19 +15,28 @@
 //!   --criterion C    C1 | C2 | C3 | C4 (default) | C3f
 //!   --ratio X        log10 of the E-U ratio (default 2)
 //!   --weights W      1,5,10 | 1,10,100 (default)
+//!   --data-dir D     durable data directory: recover on start, write-
+//!                    ahead log every decision, enable `checkpoint`
+//!   --durability P   fsync policy: always (default) | interval:<ms> |
+//!                    never; DSTAGE_DURABILITY is the env fallback
+//!   --checkpoint-every N  periodic checkpoint after N WAL records
 //! ```
 //!
 //! Prints `listening on <addr>` on stdout once ready, serves until a
-//! client issues `shutdown`, then drains and prints a summary to stderr.
+//! client issues `shutdown` (or SIGTERM/SIGINT arrives — both drain
+//! gracefully and fsync the WAL), then prints a summary to stderr.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dstage_core::cost::{CostCriterion, EuWeights};
 use dstage_core::heuristic::{Heuristic, HeuristicConfig};
 use dstage_model::request::PriorityWeights;
 use dstage_model::scenario::Scenario;
+use dstage_service::durability::{Durability, DEFAULT_CHECKPOINT_EVERY};
 use dstage_service::engine::AdmissionEngine;
 use dstage_service::server::{Server, ServerConfig};
+use dstage_service::wal::FsyncPolicy;
 use dstage_workload::{generate, GeneratorConfig};
 use serde::Value;
 
@@ -40,6 +49,9 @@ struct Options {
     criterion: CostCriterion,
     ratio: f64,
     weights: PriorityWeights,
+    data_dir: Option<String>,
+    durability: Option<FsyncPolicy>,
+    checkpoint_every: u64,
 }
 
 /// A fatal argument problem and the exit code it maps to. An unknown
@@ -90,6 +102,9 @@ fn parse_args() -> Result<Options, CliError> {
         criterion: CostCriterion::C4,
         ratio: 2.0,
         weights: PriorityWeights::paper_1_10_100(),
+        data_dir: None,
+        durability: None,
+        checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -140,6 +155,22 @@ fn parse_args() -> Result<Options, CliError> {
                     other => return Err(CliError::usage(format!("unknown weighting {other:?}"))),
                 };
             }
+            "--data-dir" => {
+                options.data_dir = Some(args.next().ok_or("--data-dir needs a directory")?);
+            }
+            "--durability" => {
+                let policy = args.next().ok_or("--durability needs a policy")?;
+                options.durability = Some(FsyncPolicy::parse(&policy)?);
+            }
+            "--checkpoint-every" => {
+                options.checkpoint_every = args
+                    .next()
+                    .ok_or("--checkpoint-every needs a record count")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("invalid --checkpoint-every (positive record count)")?;
+            }
             "--help" | "-h" => return Err(CliError::usage(String::new())),
             other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
@@ -173,7 +204,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: stage-serve [--scenario FILE | --generate SEED] [--addr HOST:PORT] \
                  [--workers N] [--scheduler partial|full-one|full-all|alap|rcd] \
-                 [--criterion C1|C2|C3|C4|C3f] [--ratio X] [--weights 1,5,10|1,10,100]"
+                 [--criterion C1|C2|C3|C4|C3f] [--ratio X] [--weights 1,5,10|1,10,100] \
+                 [--data-dir D] [--durability always|interval:<ms>|never] \
+                 [--checkpoint-every N]"
             );
             return if err.message.is_empty() { ExitCode::SUCCESS } else { err.exit };
         }
@@ -194,7 +227,56 @@ fn main() -> ExitCode {
         priority_weights: options.weights.clone(),
         caching: true,
     };
-    let engine = AdmissionEngine::new(&catalog, options.heuristic, config);
+    // The flag wins over the environment; `always` is the default so a
+    // bare `--data-dir` never silently risks acknowledged decisions.
+    let policy = match options.durability {
+        Some(policy) => policy,
+        None => match std::env::var("DSTAGE_DURABILITY") {
+            Ok(text) => match FsyncPolicy::parse(&text) {
+                Ok(policy) => policy,
+                Err(e) => {
+                    eprintln!("error: DSTAGE_DURABILITY: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => FsyncPolicy::Always,
+        },
+    };
+    let (durability, engine) = match &options.data_dir {
+        Some(dir) => {
+            let recovered = Durability::recover(
+                std::path::Path::new(dir),
+                policy,
+                options.checkpoint_every,
+                &catalog,
+                options.heuristic,
+                config,
+            );
+            match recovered {
+                Ok((durability, engine, report)) => {
+                    eprintln!(
+                        "recovered: {} records from checkpoint, {} replayed from WAL{} \
+                         ({} ms, durability {})",
+                        report.checkpoint_records,
+                        report.replayed,
+                        if report.truncated {
+                            format!(", {} torn bytes truncated", report.truncated_bytes)
+                        } else {
+                            String::new()
+                        },
+                        report.wall.as_millis(),
+                        durability.policy().label(),
+                    );
+                    (Some(Arc::new(durability)), engine)
+                }
+                Err(e) => {
+                    eprintln!("error: recovery failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => (None, AdmissionEngine::new(&catalog, options.heuristic, config)),
+    };
     eprintln!(
         "catalog: {} machines, {} items ({})",
         engine.machine_count(),
@@ -210,6 +292,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(durability) = &durability {
+        server.enable_durability(Arc::clone(durability));
+    }
+    // SIGTERM/SIGINT become the same graceful drain a client `shutdown`
+    // triggers, so orchestrated restarts never tear the log. The handler
+    // only flips a flag; a watcher thread does the actual poke.
+    signals::install();
+    {
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || loop {
+            if signals::requested() {
+                handle.trigger();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
     match server.local_addr() {
         Ok(addr) => {
             // The contract clients (and the loopback test) rely on: the
@@ -225,6 +324,11 @@ fn main() -> ExitCode {
     }
     match server.run() {
         Ok(snapshot) => {
+            // Whatever the fsync policy, an orderly exit leaves the WAL
+            // fully synced: restart recovers every drained decision.
+            if let Some(durability) = &durability {
+                durability.finalize();
+            }
             let (submissions, admitted) = (
                 snapshot.get("submissions").and_then(Value::as_u64).unwrap_or(0),
                 snapshot.get("admitted").and_then(Value::as_u64).unwrap_or(0),
@@ -236,5 +340,46 @@ fn main() -> ExitCode {
             eprintln!("error: accept loop failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Minimal signal plumbing: the handler flips an atomic, nothing else —
+/// all real work happens on the watcher thread in `main`.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Routes SIGINT (2) and SIGTERM (15) into the drain flag.
+    pub fn install() {
+        unsafe {
+            signal(2, handle);
+            signal(15, handle);
+        }
+    }
+
+    /// Whether a drain-requesting signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No signal handling off Unix; `shutdown` over the wire still works.
+    pub fn install() {}
+
+    /// Never requested without signal support.
+    pub fn requested() -> bool {
+        false
     }
 }

@@ -152,6 +152,18 @@ impl RequestStatus {
             RequestStatus::Evicted => "evicted",
         }
     }
+
+    /// Parses a wire name back (the inverse of
+    /// [`RequestStatus::as_str`]).
+    #[must_use]
+    pub fn from_wire(name: &str) -> Option<RequestStatus> {
+        match name {
+            "admitted" => Some(RequestStatus::Admitted),
+            "repaired" => Some(RequestStatus::Repaired),
+            "evicted" => Some(RequestStatus::Evicted),
+            _ => None,
+        }
+    }
 }
 
 /// Bookkeeping for one admitted request.
@@ -1197,9 +1209,249 @@ impl AdmissionEngine {
             ("ledger".to_string(), ledger),
         ])
     }
+
+    /// A stable identity of everything [`AdmissionEngine::new`] was
+    /// given: a checkpoint taken by one engine may only be restored
+    /// into an engine built from the same catalog, heuristic, and
+    /// configuration — replaying the WAL tail re-decides operations,
+    /// which is only deterministic against identical static state.
+    #[must_use]
+    pub fn catalog_fingerprint(&self) -> String {
+        let items: Vec<&str> = self.items.iter().map(DataItem::name).collect();
+        format!(
+            "v1|machines={}|links={}|gc_ms={}|horizon_ms={}|heuristic={}|config={:?}|items={}",
+            self.network.machine_count(),
+            self.network.link_count(),
+            self.gc_delay.as_millis(),
+            self.horizon.as_millis(),
+            self.heuristic.label(),
+            self.config,
+            items.join(",")
+        )
+    }
+
+    /// Serializes the complete dynamic state — admitted set, per-request
+    /// bookkeeping, committed reservations, disturbances, decision log,
+    /// clock, version, and idempotency window — for a durability
+    /// checkpoint. [`AdmissionEngine::restore`] is the exact inverse.
+    #[must_use]
+    pub fn checkpoint_value(&self) -> Value {
+        let admitted = Value::Array(
+            self.admitted
+                .iter()
+                .map(|req| {
+                    Value::Object(vec![
+                        (
+                            "item".to_string(),
+                            Value::String(self.items[req.item().index()].name().to_string()),
+                        ),
+                        ("destination".to_string(), Value::UInt(req.destination().index() as u64)),
+                        ("deadline_ms".to_string(), Value::UInt(req.deadline().as_millis())),
+                        ("priority".to_string(), Value::UInt(u64::from(req.priority().level()))),
+                    ])
+                })
+                .collect(),
+        );
+        let info = Value::Array(
+            self.info
+                .iter()
+                .map(|info| {
+                    let mut fields = vec![(
+                        "status".to_string(),
+                        Value::String(info.status.as_str().to_string()),
+                    )];
+                    if let Some(d) = info.delivery {
+                        fields.push((
+                            "delivery".to_string(),
+                            serde::to_value(&d).unwrap_or(Value::Null),
+                        ));
+                    }
+                    fields.push((
+                        "route".to_string(),
+                        serde::to_value(&info.route).unwrap_or(Value::Null),
+                    ));
+                    Value::Object(fields)
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("format".to_string(), Value::UInt(CHECKPOINT_FORMAT)),
+            ("fingerprint".to_string(), Value::String(self.catalog_fingerprint())),
+            ("version".to_string(), Value::UInt(self.version)),
+            ("now_ms".to_string(), Value::UInt(self.now.as_millis())),
+            ("idempotency_capacity".to_string(), Value::UInt(self.idempotency.capacity as u64)),
+            ("admitted".to_string(), admitted),
+            ("info".to_string(), info),
+            ("committed".to_string(), serde::to_value(&self.committed).unwrap_or(Value::Null)),
+            ("outages".to_string(), serde::to_value(&self.outages).unwrap_or(Value::Null)),
+            ("losses".to_string(), serde::to_value(&self.losses).unwrap_or(Value::Null)),
+            ("log".to_string(), Value::Array(self.log.iter().map(record_value).collect())),
+        ])
+    }
+
+    /// Rebuilds an engine from a [`AdmissionEngine::checkpoint_value`]
+    /// taken by an engine over the same catalog, heuristic, and
+    /// configuration. The idempotency window is rebuilt from the
+    /// restored log (first use of each key wins, FIFO eviction at the
+    /// recorded capacity), so a client retrying a keyed submit across a
+    /// restart still gets the recorded response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown format, a fingerprint mismatch
+    /// (different catalog or configuration), or missing/ill-typed
+    /// fields.
+    pub fn restore(
+        catalog: &Scenario,
+        heuristic: Heuristic,
+        config: HeuristicConfig,
+        checkpoint: &Value,
+    ) -> Result<AdmissionEngine, String> {
+        let u64_field = |name: &str| {
+            checkpoint
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("checkpoint: missing `{name}`"))
+        };
+        let array_field = |name: &str| {
+            checkpoint
+                .get(name)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("checkpoint: missing array `{name}`"))
+        };
+        if u64_field("format")? != CHECKPOINT_FORMAT {
+            return Err(format!(
+                "checkpoint: unsupported format {} (this build reads {CHECKPOINT_FORMAT})",
+                u64_field("format")?
+            ));
+        }
+        let mut engine = AdmissionEngine::new(catalog, heuristic, config);
+        let fingerprint = checkpoint
+            .get("fingerprint")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "checkpoint: missing `fingerprint`".to_string())?;
+        if fingerprint != engine.catalog_fingerprint() {
+            return Err("checkpoint: fingerprint mismatch (taken against a different catalog, \
+                 scheduler, or configuration)"
+                .to_string());
+        }
+        engine.version = u64_field("version")?;
+        engine.now = SimTime::from_millis(u64_field("now_ms")?);
+        let capacity = usize::try_from(u64_field("idempotency_capacity")?)
+            .map_err(|_| "checkpoint: `idempotency_capacity` out of range".to_string())?;
+
+        for entry in array_field("admitted")? {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("checkpoint admitted: missing `{name}`"))
+            };
+            let item = entry
+                .get("item")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "checkpoint admitted: missing `item`".to_string())?;
+            let &item_id = engine
+                .item_ids
+                .get(item)
+                .ok_or_else(|| format!("checkpoint admitted: unknown item `{item}`"))?;
+            engine.admitted.push(Request::new(
+                DataItemId::new(item_id),
+                MachineId::new(
+                    u32::try_from(field("destination")?)
+                        .map_err(|_| "checkpoint admitted: `destination` out of range")?,
+                ),
+                SimTime::from_millis(field("deadline_ms")?),
+                Priority::new(
+                    u8::try_from(field("priority")?)
+                        .map_err(|_| "checkpoint admitted: `priority` out of range")?,
+                ),
+            ));
+        }
+        for entry in array_field("info")? {
+            let status = entry
+                .get("status")
+                .and_then(Value::as_str)
+                .and_then(RequestStatus::from_wire)
+                .ok_or_else(|| "checkpoint info: missing or unknown `status`".to_string())?;
+            let delivery = match entry.get("delivery") {
+                None => None,
+                Some(v) => Some(
+                    serde::from_value::<Delivery>(v.clone())
+                        .map_err(|e| format!("checkpoint info: bad `delivery`: {e:?}"))?,
+                ),
+            };
+            let route = serde::from_value::<Vec<Transfer>>(
+                entry
+                    .get("route")
+                    .cloned()
+                    .ok_or_else(|| "checkpoint info: missing `route`".to_string())?,
+            )
+            .map_err(|e| format!("checkpoint info: bad `route`: {e:?}"))?;
+            engine.info.push(AdmittedInfo { status, delivery, route });
+        }
+        if engine.info.len() != engine.admitted.len() {
+            return Err(format!(
+                "checkpoint: {} admitted requests but {} info entries",
+                engine.admitted.len(),
+                engine.info.len()
+            ));
+        }
+        engine.committed = serde::from_value(
+            checkpoint
+                .get("committed")
+                .cloned()
+                .ok_or_else(|| "checkpoint: missing `committed`".to_string())?,
+        )
+        .map_err(|e| format!("checkpoint: bad `committed`: {e:?}"))?;
+        engine.outages = serde::from_value(
+            checkpoint
+                .get("outages")
+                .cloned()
+                .ok_or_else(|| "checkpoint: missing `outages`".to_string())?,
+        )
+        .map_err(|e| format!("checkpoint: bad `outages`: {e:?}"))?;
+        engine.losses = serde::from_value(
+            checkpoint
+                .get("losses")
+                .cloned()
+                .ok_or_else(|| "checkpoint: missing `losses`".to_string())?,
+        )
+        .map_err(|e| format!("checkpoint: bad `losses`: {e:?}"))?;
+
+        let mut log = Vec::new();
+        for entry in array_field("log")? {
+            log.push(record_from_value(entry)?);
+        }
+        // The idempotency window is a pure function of the key-insertion
+        // sequence, which the log records: first use of a key inserts
+        // it, FIFO eviction forgets the oldest. (A key at two log
+        // indexes means the first aged out before the second was
+        // decided; the same eviction happens here.)
+        let mut idempotency = IdempotencyCache::new(capacity);
+        for (index, record) in log.iter().enumerate() {
+            if let LogRecord::Submission(s) = record {
+                if let Some(key) = &s.args.idempotency_key {
+                    if idempotency.get(key).is_none() {
+                        idempotency.insert(key.clone(), index);
+                    }
+                }
+            }
+        }
+        engine.idempotency = idempotency;
+        engine.log = log;
+        Ok(engine)
+    }
 }
 
-fn record_value(record: &LogRecord) -> Value {
+/// Version tag of [`AdmissionEngine::checkpoint_value`]'s layout.
+pub const CHECKPOINT_FORMAT: u64 = 1;
+
+/// Serializes one decision-log record as the JSON object the snapshot
+/// `log` array (and the write-ahead log) carries.
+/// [`record_from_value`] is the exact inverse.
+#[must_use]
+pub fn record_value(record: &LogRecord) -> Value {
     match record {
         LogRecord::Submission(record) => {
             let mut fields = vec![
@@ -1277,6 +1529,124 @@ fn record_value(record: &LogRecord) -> Value {
                 ),
             ),
         ]),
+    }
+}
+
+/// Parses a [`record_value`] object back into a [`LogRecord`], decision
+/// included — full fidelity, so a checkpointed log restores with the
+/// same counters, snapshot bytes, and idempotent-replay responses as
+/// the engine that recorded it.
+///
+/// # Errors
+///
+/// Returns a message for a missing/unknown verb, decision, or field.
+pub fn record_from_value(entry: &Value) -> Result<LogRecord, String> {
+    let u64_field = |name: &str| {
+        entry
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("log record: missing `{name}`"))
+    };
+    let str_field = |name: &str| {
+        entry
+            .get(name)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("log record: missing `{name}`"))
+    };
+    let u32_list = |name: &str| -> Result<Vec<u32>, String> {
+        entry
+            .get(name)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("log record: missing array `{name}`"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("log record: bad entry in `{name}`"))
+            })
+            .collect()
+    };
+    match entry.get("verb").and_then(Value::as_str) {
+        Some("submit") => {
+            let args = SubmitArgs {
+                item: str_field("item")?,
+                destination: u32::try_from(u64_field("destination")?)
+                    .map_err(|_| "log record: `destination` out of range".to_string())?,
+                deadline_ms: u64_field("deadline_ms")?,
+                priority: u8::try_from(u64_field("priority")?)
+                    .map_err(|_| "log record: `priority` out of range".to_string())?,
+                idempotency_key: entry
+                    .get("idempotency_key")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+            };
+            let decision = match str_field("decision")?.as_str() {
+                "admitted" => Decision::Admitted {
+                    request: RequestId::new(
+                        u32::try_from(u64_field("request")?)
+                            .map_err(|_| "log record: `request` out of range".to_string())?,
+                    ),
+                    eta: SimTime::from_millis(u64_field("eta_ms")?),
+                    hops: u32::try_from(u64_field("hops")?)
+                        .map_err(|_| "log record: `hops` out of range".to_string())?,
+                    new_transfers: usize::try_from(u64_field("new_transfers")?)
+                        .map_err(|_| "log record: `new_transfers` out of range".to_string())?,
+                },
+                "rejected" => Decision::Rejected { reason: str_field("reason")? },
+                other => return Err(format!("log record: unknown decision `{other}`")),
+            };
+            Ok(LogRecord::Submission(SubmissionRecord { args, decision }))
+        }
+        Some("inject") => {
+            let kind = match str_field("kind")?.as_str() {
+                "link_outage" => InjectKind::LinkOutage {
+                    link: u32::try_from(u64_field("link")?)
+                        .map_err(|_| "log record: `link` out of range".to_string())?,
+                },
+                "copy_loss" => InjectKind::CopyLoss {
+                    item: str_field("item")?,
+                    machine: u32::try_from(u64_field("machine")?)
+                        .map_err(|_| "log record: `machine` out of range".to_string())?,
+                },
+                other => return Err(format!("log record: unknown inject kind `{other}`")),
+            };
+            Ok(LogRecord::Injection(InjectionRecord {
+                args: InjectArgs { kind, at_ms: u64_field("at_ms")? },
+                cancelled_transfers: usize::try_from(u64_field("cancelled_transfers")?)
+                    .map_err(|_| "log record: `cancelled_transfers` out of range".to_string())?,
+                repaired: u32_list("repaired")?,
+                evicted: u32_list("evicted")?,
+            }))
+        }
+        Some("optimize") => {
+            let swaps = entry
+                .get("swaps")
+                .and_then(Value::as_array)
+                .ok_or_else(|| "log record: missing array `swaps`".to_string())?
+                .iter()
+                .map(|swap| {
+                    let field = |name: &str| {
+                        swap.get(name)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("log record: swap missing `{name}`"))
+                    };
+                    Ok(SwapRecord {
+                        submission: field("submission")?,
+                        evicted: u32::try_from(field("evicted")?)
+                            .map_err(|_| "log record: swap `evicted` out of range".to_string())?,
+                        admitted: u32::try_from(field("admitted")?)
+                            .map_err(|_| "log record: swap `admitted` out of range".to_string())?,
+                    })
+                })
+                .collect::<Result<Vec<SwapRecord>, String>>()?;
+            Ok(LogRecord::Optimization(OptimizationRecord {
+                budget: u64_field("budget")?,
+                attempted: u64_field("attempted")?,
+                swaps,
+            }))
+        }
+        other => Err(format!("log record: unknown verb {other:?}")),
     }
 }
 

@@ -13,12 +13,18 @@
 //! * [`batch`] — epoch-batched admission: concurrent submissions
 //!   speculate in parallel against a snapshot and commit in arrival
 //!   order with sharded-footprint conflict detection;
-//! * [`protocol`] — the six-verb NDJSON wire protocol (`submit`,
-//!   `query`, `inject`, `snapshot`, `metrics`, `shutdown`), with
-//!   idempotent retries via `idempotency_key` on `submit`;
+//! * [`protocol`] — the nine-verb NDJSON wire protocol (`submit`,
+//!   `query`, `inject`, `optimize`, `snapshot`, `metrics`, `trace`,
+//!   `checkpoint`, `shutdown`), with idempotent retries via
+//!   `idempotency_key` on `submit`;
 //! * [`server::Server`] — accept loop + crossbeam worker pool sharing
 //!   the engine behind a `parking_lot::RwLock`, with request lines
 //!   bounded at [`server::MAX_LINE_BYTES`];
+//! * [`wal`] — the checksummed, length-prefixed write-ahead log with
+//!   configurable fsync policies and deterministic crash points;
+//! * [`durability::Durability`] — WAL staging + group commit,
+//!   atomic checkpoints with log compaction, and crash recovery
+//!   (`stage-serve --data-dir`);
 //! * [`retry::Backoff`] — bounded, seeded exponential backoff shared by
 //!   the client binaries.
 //!
@@ -66,22 +72,26 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod durability;
 pub mod engine;
 pub mod protocol;
 pub mod retry;
 pub mod server;
+pub mod wal;
 
 /// Convenience re-exports of the service vocabulary.
 pub mod prelude {
-    pub use crate::batch::run_epoch;
+    pub use crate::batch::{run_epoch, run_epoch_durable};
+    pub use crate::durability::{CheckpointStats, Durability, RecoveryReport};
     pub use crate::engine::{
-        AdmissionCounters, AdmissionEngine, Decision, Evaluation, InjectionRecord, LogRecord,
-        RequestStatus, SubmissionRecord,
+        record_from_value, record_value, AdmissionCounters, AdmissionEngine, Decision, Evaluation,
+        InjectionRecord, LogRecord, RequestStatus, SubmissionRecord,
     };
     pub use crate::protocol::{
-        ClientRequest, ErrorResponse, InjectArgs, InjectKind, InjectResponse, QueryResponse,
-        SubmitArgs, SubmitResponse,
+        CheckpointResponse, ClientRequest, ErrorResponse, InjectArgs, InjectKind, InjectResponse,
+        QueryResponse, SubmitArgs, SubmitResponse,
     };
     pub use crate::retry::Backoff;
     pub use crate::server::{LatencyHistogram, Server, ServerConfig, MAX_LINE_BYTES};
+    pub use crate::wal::{crc32, scan_segment, FsyncPolicy, SegmentWriter};
 }

@@ -1,9 +1,9 @@
 //! The wire protocol: newline-delimited JSON over TCP.
 //!
 //! Every request is one JSON object per line carrying a `verb` field;
-//! every response is one JSON object per line carrying `ok`. The eight
+//! every response is one JSON object per line carrying `ok`. The nine
 //! verbs are `submit`, `query`, `inject`, `optimize`, `snapshot`,
-//! `metrics`, `trace`, and `shutdown`.
+//! `metrics`, `trace`, `checkpoint`, and `shutdown`.
 //!
 //! `submit` may carry an `idempotency_key`: resubmitting the same key
 //! with the same arguments returns the original decision instead of
@@ -52,6 +52,10 @@ pub enum ClientRequest {
         /// ring size. Absent means the whole ring.
         limit: Option<u64>,
     },
+    /// Ask the daemon to checkpoint the engine to its data directory
+    /// and compact the write-ahead log it covers (an error when the
+    /// daemon runs without durability).
+    Checkpoint,
     /// Ask the daemon to stop accepting connections and drain.
     Shutdown,
 }
@@ -201,6 +205,7 @@ impl ClientRequest {
                     };
                 Ok(ClientRequest::Trace { limit })
             }
+            "checkpoint" => Ok(ClientRequest::Checkpoint),
             "shutdown" => Ok(ClientRequest::Shutdown),
             other => Err(format!("unknown verb `{other}`")),
         }
@@ -353,6 +358,21 @@ pub struct QueryResponse {
     pub route: Vec<RouteHop>,
 }
 
+/// Response to a `checkpoint` request.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointResponse {
+    /// Always `true` (failures get an [`ErrorResponse`]).
+    pub ok: bool,
+    /// Decision-log records the checkpoint covers.
+    pub covered: u64,
+    /// Checkpoint file size in bytes.
+    pub bytes: u64,
+    /// Fully-covered WAL segments deleted by compaction.
+    pub segments_removed: u64,
+    /// Superseded checkpoint files deleted by compaction.
+    pub checkpoints_removed: u64,
+}
+
 /// An error response.
 #[derive(Debug, Clone, Serialize)]
 pub struct ErrorResponse {
@@ -409,6 +429,10 @@ mod tests {
         assert_eq!(
             ClientRequest::parse(r#"{"verb":"optimize"}"#).unwrap(),
             ClientRequest::Optimize { budget: None }
+        );
+        assert_eq!(
+            ClientRequest::parse(r#"{"verb":"checkpoint"}"#).unwrap(),
+            ClientRequest::Checkpoint
         );
         assert_eq!(
             ClientRequest::parse(r#"{"verb":"shutdown"}"#).unwrap(),

@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -28,9 +28,11 @@ use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use serde::Value;
 
+use crate::durability::Durability;
 use crate::engine::{AdmissionEngine, DEFAULT_OPTIMIZE_BUDGET};
 use crate::protocol::{
-    response_line, ClientRequest, ErrorResponse, MetricsFormat, SubmitArgs, SubmitResponse,
+    response_line, CheckpointResponse, ClientRequest, ErrorResponse, MetricsFormat, SubmitArgs,
+    SubmitResponse,
 };
 
 /// Longest accepted request line, in bytes (newline excluded). Anything
@@ -198,6 +200,26 @@ struct Shared {
     batch: BatchQueue,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// The WAL + checkpoint manager; absent when the daemon runs
+    /// without a data directory.
+    durability: OnceLock<Arc<Durability>>,
+    /// Collapses concurrent periodic-checkpoint triggers to one.
+    checkpointing: AtomicBool,
+}
+
+/// Triggers the daemon's graceful drain from outside a connection
+/// (signal handlers use this): equivalent to a client `shutdown` verb.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Shared>);
+
+impl ShutdownHandle {
+    /// Starts the drain: stop accepting, let in-flight requests finish
+    /// under the grace deadline.
+    pub fn trigger(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.0.addr);
+    }
 }
 
 /// A bound (but not yet running) admission-control daemon.
@@ -225,8 +247,25 @@ impl Server {
                 batch: BatchQueue::default(),
                 shutdown: AtomicBool::new(false),
                 addr,
+                durability: OnceLock::new(),
+                checkpointing: AtomicBool::new(false),
             }),
         })
+    }
+
+    /// Arms write-ahead logging: every decision is staged into
+    /// `durability`'s WAL before its response is released, and the
+    /// `checkpoint` verb (plus the periodic trigger) becomes available.
+    /// Call once, before [`Server::run`].
+    pub fn enable_durability(&self, durability: Arc<Durability>) {
+        let _ = self.shared.durability.set(durability);
+    }
+
+    /// A handle that can start the graceful drain from outside a
+    /// connection (SIGTERM/SIGINT handling in the binary uses this).
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared))
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
@@ -412,6 +451,7 @@ fn verb_obs(request: &ClientRequest) -> (&'static str, &'static dstage_obs::Hist
         ClientRequest::Snapshot => ("verb.snapshot", &m::SERVICE_VERB_SNAPSHOT_US),
         ClientRequest::Metrics { .. } => ("verb.metrics", &m::SERVICE_VERB_METRICS_US),
         ClientRequest::Trace { .. } => ("verb.trace", &m::SERVICE_VERB_METRICS_US),
+        ClientRequest::Checkpoint => ("verb.checkpoint", &m::SERVICE_VERB_METRICS_US),
         ClientRequest::Shutdown => ("verb.shutdown", &m::SERVICE_VERB_METRICS_US),
     }
 }
@@ -455,7 +495,11 @@ fn batched_submit(shared: &Shared, args: SubmitArgs) -> Result<SubmitResponse, S
         }
         let epoch: Vec<PendingSubmit> = shared.batch.pending.lock().drain(..).collect();
         let batch: Vec<SubmitArgs> = epoch.iter().map(|pending| pending.args.clone()).collect();
-        let results = crate::batch::run_epoch(&shared.engine, &batch);
+        let results = crate::batch::run_epoch_durable(
+            &shared.engine,
+            &batch,
+            shared.durability.get().map(Arc::as_ref),
+        );
         for (pending, result) in epoch.into_iter().zip(results) {
             // A follower that vanished (dead connection) just drops the
             // receiver; its decision is already logged either way.
@@ -469,27 +513,49 @@ fn dispatch_parsed(shared: &Shared, request: ClientRequest) -> String {
         ClientRequest::Submit(args) => {
             let start = Instant::now();
             let result = batched_submit(shared, args);
-            match result {
+            let line = match result {
                 Ok(response) => {
                     let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                     shared.latency.lock().record(micros);
                     response_line(&response)
                 }
                 Err(message) => ErrorResponse::line(message),
-            }
+            };
+            maybe_checkpoint(shared);
+            line
         }
         ClientRequest::Query { request } => match shared.engine.read().query(request) {
             Ok(response) => response_line(&response),
             Err(message) => ErrorResponse::line(message),
         },
-        ClientRequest::Inject(args) => match shared.engine.write().inject(&args) {
-            Ok(response) => response_line(&response),
-            Err(message) => ErrorResponse::line(message),
-        },
+        ClientRequest::Inject(args) => {
+            // Exclusive path, same durability contract as submissions:
+            // stage under the write lock, fsync after it, reply last.
+            let mut guard = shared.engine.write();
+            let result = guard.inject(&args);
+            let staged = shared.durability.get().map(|d| d.stage(&guard));
+            drop(guard);
+            if let (Some(d), Some(seq)) = (shared.durability.get(), staged) {
+                d.commit(seq);
+            }
+            let line = match result {
+                Ok(response) => response_line(&response),
+                Err(message) => ErrorResponse::line(message),
+            };
+            maybe_checkpoint(shared);
+            line
+        }
         ClientRequest::Optimize { budget } => {
-            let response =
-                shared.engine.write().optimize(budget.unwrap_or(DEFAULT_OPTIMIZE_BUDGET));
-            response_line(&response)
+            let mut guard = shared.engine.write();
+            let response = guard.optimize(budget.unwrap_or(DEFAULT_OPTIMIZE_BUDGET));
+            let staged = shared.durability.get().map(|d| d.stage(&guard));
+            drop(guard);
+            if let (Some(d), Some(seq)) = (shared.durability.get(), staged) {
+                d.commit(seq);
+            }
+            let line = response_line(&response);
+            maybe_checkpoint(shared);
+            line
         }
         ClientRequest::Snapshot => value_line(&shared.engine.read().snapshot()),
         ClientRequest::Metrics { format: MetricsFormat::Json } => {
@@ -533,6 +599,26 @@ fn dispatch_parsed(shared: &Shared, request: ClientRequest) -> String {
                 ("events".to_string(), Value::Array(events)),
             ]))
         }
+        ClientRequest::Checkpoint => {
+            let Some(durability) = shared.durability.get() else {
+                return ErrorResponse::line(
+                    "durability is disabled (start stage-serve with --data-dir)",
+                );
+            };
+            // The read lock excludes writers, so the checkpoint covers
+            // exactly the staged WAL prefix.
+            let engine = shared.engine.read();
+            match durability.checkpoint(&engine) {
+                Ok(stats) => response_line(&CheckpointResponse {
+                    ok: true,
+                    covered: stats.covered,
+                    bytes: stats.bytes,
+                    segments_removed: stats.segments_removed,
+                    checkpoints_removed: stats.checkpoints_removed,
+                }),
+                Err(e) => ErrorResponse::line(format!("checkpoint failed: {e}")),
+            }
+        }
         ClientRequest::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             // Poke the accept loop so it observes the flag.
@@ -543,6 +629,26 @@ fn dispatch_parsed(shared: &Shared, request: ClientRequest) -> String {
             ]))
         }
     }
+}
+
+/// Runs a periodic checkpoint when enough WAL records accumulated since
+/// the last one. At most one worker checkpoints at a time; failures are
+/// reported to stderr and retried on a later trigger (the WAL stays
+/// authoritative either way).
+fn maybe_checkpoint(shared: &Shared) {
+    let Some(durability) = shared.durability.get() else { return };
+    if !durability.should_checkpoint() {
+        return;
+    }
+    if shared.checkpointing.swap(true, Ordering::SeqCst) {
+        return; // another worker is already on it
+    }
+    let engine = shared.engine.read();
+    if let Err(e) = durability.checkpoint(&engine) {
+        eprintln!("periodic checkpoint failed (will retry): {e}");
+    }
+    drop(engine);
+    shared.checkpointing.store(false, Ordering::SeqCst);
 }
 
 fn value_line(value: &Value) -> String {
