@@ -1,0 +1,116 @@
+//! Point-to-multipoint lockstep and shared-hop pinning.
+//!
+//! A P2MP request expands to one per-destination request, so a group
+//! with a single destination must be *indistinguishable* from the plain
+//! request — byte-identical schedules under every scheduler. A wider
+//! group must pay shared upstream hops once while earning each
+//! satisfied destination its own `W[p]`.
+
+use dstage_core::heuristic::{run, Heuristic, HeuristicConfig};
+use dstage_model::data::{DataItem, DataSource};
+use dstage_model::ids::{DataItemId, MachineId};
+use dstage_model::link::VirtualLink;
+use dstage_model::machine::Machine;
+use dstage_model::network::{Network, NetworkBuilder};
+use dstage_model::request::{P2mpRequest, Priority, PriorityWeights, Request};
+use dstage_model::scenario::Scenario;
+use dstage_model::time::SimTime;
+use dstage_model::units::{BitsPerSec, Bytes};
+
+/// src -> hub -> {d1, d2, d3}: one staged hop feeds all leaves.
+fn fan_out_network() -> Network {
+    let mut b = NetworkBuilder::new();
+    let src = b.add_machine(Machine::new("src", Bytes::from_mib(64)));
+    let hub = b.add_machine(Machine::new("hub", Bytes::from_mib(64)));
+    let leaves: Vec<MachineId> =
+        (0..3).map(|i| b.add_machine(Machine::new(format!("d{i}"), Bytes::from_mib(64)))).collect();
+    let horizon = SimTime::from_hours(2);
+    // 8 Kbit/s = 1 byte/ms.
+    b.add_link(VirtualLink::new(src, hub, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
+    b.add_link(VirtualLink::new(hub, src, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
+    for &leaf in &leaves {
+        b.add_link(VirtualLink::new(hub, leaf, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
+        b.add_link(VirtualLink::new(leaf, hub, SimTime::ZERO, horizon, BitsPerSec::new(8_000)));
+    }
+    b.build()
+}
+
+fn item() -> DataItem {
+    DataItem::new(
+        "weather",
+        Bytes::from_kib(40),
+        vec![DataSource::new(MachineId::new(0), SimTime::ZERO)],
+    )
+}
+
+#[test]
+fn single_destination_p2mp_is_byte_identical_to_plain_request_across_all_schedulers() {
+    let deadline = SimTime::from_mins(60);
+    let plain = Scenario::builder(fan_out_network())
+        .add_item(item())
+        .add_request(Request::new(DataItemId::new(0), MachineId::new(2), deadline, Priority::HIGH))
+        .build()
+        .unwrap();
+    let p2mp = Scenario::builder(fan_out_network())
+        .add_item(item())
+        .add_p2mp_request(&P2mpRequest::new(
+            DataItemId::new(0),
+            vec![MachineId::new(2)],
+            deadline,
+            Priority::HIGH,
+        ))
+        .build()
+        .unwrap();
+    assert_eq!(p2mp.p2mp_groups().len(), 1);
+
+    let config = HeuristicConfig::paper_best();
+    for heuristic in Heuristic::EXTENDED {
+        let a = run(&plain, heuristic, &config).schedule;
+        let b = run(&p2mp, heuristic, &config).schedule;
+        let a_bytes = serde_json::to_string(&a).unwrap();
+        let b_bytes = serde_json::to_string(&b).unwrap();
+        assert_eq!(a_bytes, b_bytes, "{heuristic:?}: single-destination P2MP must be a no-op");
+    }
+}
+
+#[test]
+fn p2mp_group_shares_the_upstream_hop_and_credits_each_destination() {
+    let deadline = SimTime::from_mins(60);
+    let scenario = Scenario::builder(fan_out_network())
+        .add_item(item())
+        .add_p2mp_request(&P2mpRequest::new(
+            DataItemId::new(0),
+            vec![MachineId::new(2), MachineId::new(3), MachineId::new(4)],
+            deadline,
+            Priority::HIGH,
+        ))
+        .build()
+        .unwrap();
+
+    let config = HeuristicConfig::paper_best();
+    let weights = PriorityWeights::paper_1_10_100();
+    for heuristic in Heuristic::EXTENDED {
+        let schedule = run(&scenario, heuristic, &config).schedule;
+        // Every destination satisfied, each earning its own W[p].
+        let evaluation = schedule.evaluate(&scenario, &weights);
+        assert_eq!(
+            schedule.deliveries().len(),
+            3,
+            "{heuristic:?}: all three group members must be delivered"
+        );
+        assert_eq!(
+            evaluation.weighted_sum,
+            3 * weights.weight(Priority::HIGH),
+            "{heuristic:?}: per-destination credit"
+        );
+        // The src -> hub hop is staged once and shared; the only other
+        // transfers are the three hub -> leaf legs.
+        let into_hub = schedule.transfers().iter().filter(|t| t.to == MachineId::new(1)).count();
+        assert_eq!(into_hub, 1, "{heuristic:?}: shared hop must be paid exactly once");
+        assert_eq!(
+            schedule.transfers().len(),
+            4,
+            "{heuristic:?}: one shared hop plus three leaf legs"
+        );
+    }
+}

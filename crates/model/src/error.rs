@@ -60,6 +60,11 @@ pub enum ScenarioError {
         /// The machine listed twice.
         machine: MachineId,
     },
+    /// A point-to-multipoint request has no destinations.
+    EmptyP2mpGroup {
+        /// Index of the offending group, in submission order.
+        group: usize,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -85,6 +90,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::DuplicateSource { item, machine } => {
                 write!(f, "data item {item} lists machine {machine} as a source twice")
+            }
+            ScenarioError::EmptyP2mpGroup { group } => {
+                write!(f, "point-to-multipoint request {group} has no destinations")
             }
         }
     }

@@ -192,6 +192,87 @@ impl Request {
     }
 }
 
+/// A point-to-multipoint request: one data item wanted at several
+/// destinations under a common deadline and priority.
+///
+/// Satisfaction is **per-destination** — each destination that receives
+/// the item by the deadline earns the full weight `W[p]` on its own —
+/// but the transfers serving the group share upstream staged copies: a
+/// hop into an intermediate machine is paid once and every downstream
+/// destination reads from the staged copy. The scheduler models this by
+/// expanding the group into one [`Request`] per destination
+/// ([`P2mpRequest::expand`]); the shared-copy accounting falls out of
+/// the copy tracker, which never re-stages an item a machine already
+/// holds early enough.
+///
+/// # Examples
+///
+/// ```
+/// use dstage_model::request::{P2mpRequest, Priority};
+/// use dstage_model::ids::{DataItemId, MachineId};
+/// use dstage_model::time::SimTime;
+///
+/// let group = P2mpRequest::new(
+///     DataItemId::new(0),
+///     vec![MachineId::new(3), MachineId::new(4)],
+///     SimTime::from_mins(45),
+///     Priority::HIGH,
+/// );
+/// assert_eq!(group.expand().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct P2mpRequest {
+    item: DataItemId,
+    destinations: Vec<MachineId>,
+    deadline: SimTime,
+    priority: Priority,
+}
+
+impl P2mpRequest {
+    /// Creates a point-to-multipoint request.
+    #[must_use]
+    pub fn new(
+        item: DataItemId,
+        destinations: Vec<MachineId>,
+        deadline: SimTime,
+        priority: Priority,
+    ) -> Self {
+        P2mpRequest { item, destinations, deadline, priority }
+    }
+
+    /// The requested data item.
+    #[must_use]
+    pub fn item(&self) -> DataItemId {
+        self.item
+    }
+
+    /// The requesting machines, in submission order.
+    #[must_use]
+    pub fn destinations(&self) -> &[MachineId] {
+        &self.destinations
+    }
+
+    /// The common deadline `Rft` for every destination in the group.
+    #[must_use]
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+
+    /// The group's priority.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Expands the group into one single-destination [`Request`] per
+    /// destination, in order.
+    pub fn expand(&self) -> impl Iterator<Item = Request> + '_ {
+        self.destinations
+            .iter()
+            .map(move |&d| Request::new(self.item, d, self.deadline, self.priority))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +314,24 @@ mod tests {
     #[should_panic(expected = "at least one priority level")]
     fn empty_weights_rejected() {
         let _ = PriorityWeights::new(vec![]);
+    }
+
+    #[test]
+    fn p2mp_expands_in_destination_order() {
+        let group = P2mpRequest::new(
+            DataItemId::new(1),
+            vec![MachineId::new(4), MachineId::new(2), MachineId::new(7)],
+            SimTime::from_mins(40),
+            Priority::HIGH,
+        );
+        let expanded: Vec<Request> = group.expand().collect();
+        assert_eq!(expanded.len(), 3);
+        for (req, &dest) in expanded.iter().zip(group.destinations()) {
+            assert_eq!(req.item(), DataItemId::new(1));
+            assert_eq!(req.destination(), dest);
+            assert_eq!(req.deadline(), SimTime::from_mins(40));
+            assert_eq!(req.priority(), Priority::HIGH);
+        }
     }
 
     #[test]

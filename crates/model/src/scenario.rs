@@ -12,7 +12,7 @@ use crate::data::DataItem;
 use crate::error::ScenarioError;
 use crate::ids::{DataItemId, MachineId, RequestId};
 use crate::network::Network;
-use crate::request::Request;
+use crate::request::{P2mpRequest, Request};
 use crate::time::{SimDuration, SimTime};
 
 /// A validated data staging problem instance.
@@ -49,6 +49,12 @@ pub struct Scenario {
     requests: Vec<Request>,
     /// Requests grouped by item, precomputed.
     requests_by_item: Vec<Vec<RequestId>>,
+    /// Point-to-multipoint groups: each inner vector lists the expanded
+    /// per-destination requests of one [`P2mpRequest`]. `None` when the
+    /// scenario has no P2MP requests, and skipped on serialization, so
+    /// pre-P2MP scenario files round-trip byte-identically.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p2mp_groups: Option<Vec<Vec<RequestId>>>,
     gc_delay: SimDuration,
     horizon: SimTime,
 }
@@ -61,6 +67,7 @@ impl Scenario {
             network,
             items: Vec::new(),
             requests: Vec::new(),
+            p2mp_groups: Vec::new(),
             gc_delay: SimDuration::from_mins(6), // the paper's γ
             horizon: SimTime::from_hours(2),     // the paper's effective duration
         }
@@ -134,6 +141,19 @@ impl Scenario {
         &self.requests_by_item[item.index()]
     }
 
+    /// The point-to-multipoint groups: each slice element lists the
+    /// expanded per-destination request ids of one group, in submission
+    /// order. Empty for scenarios without P2MP requests.
+    ///
+    /// Satisfaction stays per-request — every satisfied destination earns
+    /// its own `W[p]` — so the groups carry no scheduling semantics of
+    /// their own; they record which requests share an upstream intent and
+    /// let reports aggregate per-group outcomes.
+    #[must_use]
+    pub fn p2mp_groups(&self) -> &[Vec<RequestId>] {
+        self.p2mp_groups.as_deref().unwrap_or(&[])
+    }
+
     /// The garbage-collection delay `γ`: intermediate copies of an item are
     /// reclaimed `γ` after the item's latest deadline (paper §4.4).
     #[must_use]
@@ -170,6 +190,7 @@ pub struct ScenarioBuilder {
     network: Network,
     items: Vec<DataItem>,
     requests: Vec<Request>,
+    p2mp_groups: Vec<Vec<RequestId>>,
     gc_delay: SimDuration,
     horizon: SimTime,
 }
@@ -190,6 +211,21 @@ impl ScenarioBuilder {
     /// Adds several requests.
     pub fn add_requests(mut self, requests: impl IntoIterator<Item = Request>) -> Self {
         self.requests.extend(requests);
+        self
+    }
+
+    /// Adds a point-to-multipoint request: it expands into one
+    /// per-destination [`Request`] (so the heuristics need no special
+    /// casing) and the expanded ids are recorded as a group retrievable
+    /// via [`Scenario::p2mp_groups`]. A duplicate destination within the
+    /// group surfaces as [`ScenarioError::DuplicateRequest`] at build
+    /// time; an empty destination set as
+    /// [`ScenarioError::EmptyP2mpGroup`].
+    pub fn add_p2mp_request(mut self, p2mp: &P2mpRequest) -> Self {
+        let first = self.requests.len() as u32;
+        self.requests.extend(p2mp.expand());
+        let ids = (first..self.requests.len() as u32).map(RequestId::new).collect();
+        self.p2mp_groups.push(ids);
         self
     }
 
@@ -214,7 +250,8 @@ impl ScenarioBuilder {
     /// Returns a [`ScenarioError`] if item names collide, any referenced
     /// machine or item id is out of range, a requested item has no sources,
     /// a machine is both source and destination of the same item, a machine
-    /// requests the same item twice, or an item lists a source twice.
+    /// requests the same item twice, an item lists a source twice, or a
+    /// point-to-multipoint request has no destinations.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let m = self.network.machine_count();
 
@@ -274,11 +311,18 @@ impl ScenarioBuilder {
             requests_by_item[req.item().index()].push(id);
         }
 
+        for (gi, group) in self.p2mp_groups.iter().enumerate() {
+            if group.is_empty() {
+                return Err(ScenarioError::EmptyP2mpGroup { group: gi });
+            }
+        }
+
         Ok(Scenario {
             network: self.network,
             items: self.items,
             requests: self.requests,
             requests_by_item,
+            p2mp_groups: if self.p2mp_groups.is_empty() { None } else { Some(self.p2mp_groups) },
             gc_delay: self.gc_delay,
             horizon: self.horizon,
         })
@@ -494,6 +538,99 @@ mod tests {
         let s = Scenario::builder(net(2)).add_item(item_at(0)).build().unwrap();
         assert_eq!(s.latest_deadline(DataItemId::new(0)), None);
         assert_eq!(s.gc_time(DataItemId::new(0)), None);
+    }
+
+    #[test]
+    fn p2mp_request_expands_into_a_recorded_group() {
+        let s = Scenario::builder(net(4))
+            .add_item(item_at(0))
+            .add_p2mp_request(&crate::request::P2mpRequest::new(
+                DataItemId::new(0),
+                vec![MachineId::new(1), MachineId::new(2), MachineId::new(3)],
+                SimTime::from_mins(30),
+                Priority::HIGH,
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(s.request_count(), 3);
+        assert_eq!(s.p2mp_groups().len(), 1);
+        assert_eq!(
+            s.p2mp_groups()[0],
+            vec![RequestId::new(0), RequestId::new(1), RequestId::new(2)]
+        );
+        for (i, &rid) in s.p2mp_groups()[0].iter().enumerate() {
+            let r = s.request(rid);
+            assert_eq!(r.destination(), MachineId::new(i as u32 + 1));
+            assert_eq!(r.deadline(), SimTime::from_mins(30));
+            assert_eq!(r.priority(), Priority::HIGH);
+        }
+    }
+
+    #[test]
+    fn empty_p2mp_group_rejected() {
+        let err = Scenario::builder(net(2))
+            .add_item(item_at(0))
+            .add_p2mp_request(&crate::request::P2mpRequest::new(
+                DataItemId::new(0),
+                vec![],
+                SimTime::from_mins(30),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::EmptyP2mpGroup { group: 0 }));
+    }
+
+    #[test]
+    fn p2mp_duplicate_destination_rejected_as_duplicate_request() {
+        let err = Scenario::builder(net(3))
+            .add_item(item_at(0))
+            .add_p2mp_request(&crate::request::P2mpRequest::new(
+                DataItemId::new(0),
+                vec![MachineId::new(1), MachineId::new(1)],
+                SimTime::from_mins(30),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::DuplicateRequest { .. }));
+    }
+
+    #[test]
+    fn scenarios_without_p2mp_serialize_without_the_field() {
+        let s = Scenario::builder(net(2))
+            .add_item(item_at(0))
+            .add_request(Request::new(
+                DataItemId::new(0),
+                MachineId::new(1),
+                SimTime::from_mins(30),
+                Priority::LOW,
+            ))
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("p2mp_groups"), "plain scenarios must stay byte-compatible");
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert!(back.p2mp_groups().is_empty());
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn p2mp_groups_round_trip_through_serialization() {
+        let s = Scenario::builder(net(3))
+            .add_item(item_at(0))
+            .add_p2mp_request(&crate::request::P2mpRequest::new(
+                DataItemId::new(0),
+                vec![MachineId::new(1), MachineId::new(2)],
+                SimTime::from_mins(30),
+                Priority::MEDIUM,
+            ))
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("p2mp_groups"));
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.p2mp_groups(), s.p2mp_groups());
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub static SERVICE_DECISIONS: Counter = Counter::new();
 pub static SERVICE_ADMITTED: Counter = Counter::new();
 /// Submissions refused.
 pub static SERVICE_REFUSED: Counter = Counter::new();
+/// Point-to-multipoint submission groups processed (each group also
+/// counts one decision per destination).
+pub static SERVICE_P2MP_GROUPS: Counter = Counter::new();
 /// Disturbance injections processed.
 pub static SERVICE_INJECTIONS: Counter = Counter::new();
 /// Requests displaced by disturbances (before repair triage).
@@ -207,6 +210,13 @@ pub fn registry() -> &'static [MetricDef] {
             layer: "service",
             label: None,
             kind: Counter(&SERVICE_REFUSED),
+        },
+        MetricDef {
+            name: "dstage_service_p2mp_groups_total",
+            help: "Point-to-multipoint submission groups processed",
+            layer: "service",
+            label: None,
+            kind: Counter(&SERVICE_P2MP_GROUPS),
         },
         MetricDef {
             name: "dstage_service_injections_total",

@@ -9,6 +9,11 @@
 //!   --requests M     total submissions across all clients (default 500)
 //!   --seed S         workload seed — use the daemon's --generate seed so
 //!                    item names match (default 0)
+//!   --family F       scenario family the workload is drawn from:
+//!                    paper (default) | satcom | wan | grid | line — use
+//!                    the daemon's --family so item names match; an
+//!                    unknown name lists the valid ones and exits with
+//!                    code 2
 //!   --timeout-ms T   connect/read/write timeout per attempt (default 5000)
 //!   --retries N      bounded retries per request line (default 5)
 //!   --chaos S        interpose a fault proxy seeded with S between the
@@ -55,7 +60,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use dstage_service::retry::Backoff;
-use dstage_workload::{generate, GeneratorConfig};
+use dstage_workload::Family;
 use rand::{Rng, SeedableRng, StdRng};
 use serde::Value;
 
@@ -64,6 +69,7 @@ struct Options {
     clients: usize,
     requests: usize,
     seed: u64,
+    family: Family,
     timeout: Duration,
     retries: u32,
     chaos: Option<u64>,
@@ -75,12 +81,33 @@ struct Options {
     senders: usize,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// A fatal argument problem and the exit code it maps to. An unknown
+/// family name exits with `2` (matching stage-serve's scheduler flag) so
+/// scripts can tell a typo from the generic usage failure (`1`).
+struct CliError {
+    message: String,
+    exit: ExitCode,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { message, exit: ExitCode::FAILURE }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::from(message.to_string())
+    }
+}
+
+fn parse_args() -> Result<Options, CliError> {
     let mut options = Options {
         addr: String::new(),
         clients: 8,
         requests: 500,
         seed: 0,
+        family: Family::Paper,
         timeout: Duration::from_millis(5_000),
         retries: 5,
         chaos: None,
@@ -116,6 +143,13 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid seed: {e}"))?;
             }
+            "--family" => {
+                let name = args.next().ok_or("--family needs a name")?;
+                options.family = Family::from_name(&name).ok_or_else(|| CliError {
+                    message: format!("unknown family `{name}` (valid: {})", Family::names()),
+                    exit: ExitCode::from(2),
+                })?;
+            }
             "--timeout-ms" => {
                 let ms: u64 = args
                     .next()
@@ -123,7 +157,7 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid timeout: {e}"))?;
                 if ms == 0 {
-                    return Err("--timeout-ms must be positive".to_string());
+                    return Err(CliError::from("--timeout-ms must be positive"));
                 }
                 options.timeout = Duration::from_millis(ms);
             }
@@ -157,7 +191,7 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid rate: {e}"))?;
                 if !options.rate.is_finite() || options.rate <= 0.0 {
-                    return Err("--rate must be positive".to_string());
+                    return Err(CliError::from("--rate must be positive"));
                 }
             }
             "--senders" => {
@@ -167,15 +201,15 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid sender count: {e}"))?;
             }
-            "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown option {other:?}")),
+            "--help" | "-h" => return Err(CliError::from(String::new())),
+            other => return Err(CliError::from(format!("unknown option {other:?}"))),
         }
     }
     if options.addr.is_empty() && !options.bench {
-        return Err("--addr is required".to_string());
+        return Err(CliError::from("--addr is required"));
     }
     if options.clients == 0 || options.requests == 0 || options.senders == 0 {
-        return Err("--clients, --requests, and --senders must be positive".to_string());
+        return Err(CliError::from("--clients, --requests, and --senders must be positive"));
     }
     Ok(options)
 }
@@ -183,8 +217,10 @@ fn parse_args() -> Result<Options, String> {
 /// The generated scenario's requests as submit lines, cycled (with
 /// deadlines shifted one hour per lap) until `total` lines exist. Line
 /// `i` carries the deterministic idempotency key `lg-{seed}-{i}`.
-fn submit_lines(seed: u64, total: usize) -> Vec<String> {
-    let scenario = generate(&GeneratorConfig::paper(), seed);
+/// Point-to-multipoint groups in the scenario are already expanded to
+/// per-destination requests, so every family replays as plain submits.
+fn submit_lines(family: Family, seed: u64, total: usize) -> Vec<String> {
+    let scenario = family.generate(seed);
     let base: Vec<(String, u64, u64, u8)> = scenario
         .requests()
         .map(|(_, r)| {
@@ -475,7 +511,11 @@ impl BenchRun {
 
 /// Spawns the sibling `stage-serve` binary on an ephemeral port with the
 /// default paper heuristic configuration and returns (child, addr).
-fn spawn_bench_server(seed: u64, workers: usize) -> io::Result<(std::process::Child, String)> {
+fn spawn_bench_server(
+    family: Family,
+    seed: u64,
+    workers: usize,
+) -> io::Result<(std::process::Child, String)> {
     let exe = std::env::current_exe()?;
     let dir = exe
         .parent()
@@ -485,6 +525,8 @@ fn spawn_bench_server(seed: u64, workers: usize) -> io::Result<(std::process::Ch
         .args([
             "--generate",
             &seed.to_string(),
+            "--family",
+            family.name(),
             "--addr",
             "127.0.0.1:0",
             "--workers",
@@ -516,13 +558,13 @@ fn spawn_bench_server(seed: u64, workers: usize) -> io::Result<(std::process::Ch
 /// Whether `snapshot` (as fetched from a live daemon) equals a fresh
 /// engine's sequential replay of its own decision log, byte for byte —
 /// the determinism invariant batched admission must preserve.
-fn replay_matches(seed: u64, snapshot: &Value) -> bool {
+fn replay_matches(family: Family, seed: u64, snapshot: &Value) -> bool {
     use dstage_core::cost::{CostCriterion, EuWeights};
     use dstage_core::heuristic::{Heuristic, HeuristicConfig};
     use dstage_model::request::PriorityWeights;
     use dstage_service::engine::AdmissionEngine;
 
-    let scenario = generate(&GeneratorConfig::paper(), seed);
+    let scenario = family.generate(seed);
     let config = HeuristicConfig {
         criterion: CostCriterion::C4,
         eu: EuWeights::from_log10_ratio(2.0),
@@ -611,7 +653,7 @@ fn bench_offered_load(
 /// drain, replay-check.
 fn bench_one(options: &Options, lines: &[String], workers: usize) -> io::Result<BenchRun> {
     let timeout = options.timeout.max(Duration::from_secs(30));
-    let (mut child, addr) = spawn_bench_server(options.seed, workers)?;
+    let (mut child, addr) = spawn_bench_server(options.family, options.seed, workers)?;
     let (latencies, admitted, rejected, errors, elapsed) =
         bench_offered_load(&addr, lines, options.rate, options.senders, timeout);
     let snapshot_line = one_shot(&addr, r#"{"verb":"snapshot"}"#, timeout)?;
@@ -622,7 +664,7 @@ fn bench_one(options: &Options, lines: &[String], workers: usize) -> io::Result<
     if !status.success() {
         return Err(io::Error::other(format!("stage-serve exited with {status:?}")));
     }
-    let replay_identical = replay_matches(options.seed, &snapshot);
+    let replay_identical = replay_matches(options.family, options.seed, &snapshot);
     Ok(BenchRun {
         workers,
         answered: latencies.len(),
@@ -638,7 +680,7 @@ fn bench_one(options: &Options, lines: &[String], workers: usize) -> io::Result<
 /// Runs the full benchmark matrix and writes the JSON report.
 fn run_bench(options: &Options) -> ExitCode {
     const WORKER_COUNTS: [usize; 3] = [1, 4, 16];
-    let lines = submit_lines(options.seed, options.requests);
+    let lines = submit_lines(options.family, options.seed, options.requests);
     let mut runs = Vec::new();
     for workers in WORKER_COUNTS {
         match bench_one(options, &lines, workers) {
@@ -751,17 +793,18 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
+        Err(err) => {
+            if !err.message.is_empty() {
+                eprintln!("error: {}", err.message);
             }
             eprintln!(
                 "usage: stage-loadgen --addr HOST:PORT [--clients N] [--requests M] [--seed S] \
+                 [--family paper|satcom|wan|grid|line] \
                  [--timeout-ms T] [--retries N] [--chaos S] [--snapshot-out F] [--shutdown]\n\
                  \x20      stage-loadgen --bench [--bench-out F] [--rate R] [--senders N] \
-                 [--requests M] [--seed S]"
+                 [--requests M] [--seed S] [--family F]"
             );
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if err.message.is_empty() { ExitCode::SUCCESS } else { err.exit };
         }
     };
     if options.bench {
@@ -780,7 +823,7 @@ fn main() -> ExitCode {
         },
         None => options.addr.clone(),
     };
-    let lines = Arc::new(submit_lines(options.seed, options.requests));
+    let lines = Arc::new(submit_lines(options.family, options.seed, options.requests));
     // Contiguous per-client slices: client c gets lines [c*share, ...).
     let share = options.requests.div_ceil(options.clients);
     let started = Instant::now();

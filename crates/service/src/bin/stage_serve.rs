@@ -7,6 +7,11 @@
 //!   --scenario FILE  catalog (network + items) from a scenario JSON;
 //!                    requests in the file are ignored
 //!   --generate SEED  paper-scale generated catalog (default: seed 0)
+//!   --family F       scenario family for the generated catalog:
+//!                    paper (default) | satcom | wan | grid | line; an
+//!                    unknown name lists the valid ones and exits with
+//!                    code 2
+
 //!   --addr A         bind address (default 127.0.0.1:0 = ephemeral port)
 //!   --workers N      worker threads (default: max(8, cores))
 //!   --scheduler S    partial | full-one (default) | full-all | alap | rcd
@@ -37,11 +42,12 @@ use dstage_service::durability::{Durability, DEFAULT_CHECKPOINT_EVERY};
 use dstage_service::engine::AdmissionEngine;
 use dstage_service::server::{Server, ServerConfig};
 use dstage_service::wal::FsyncPolicy;
-use dstage_workload::{generate, GeneratorConfig};
+use dstage_workload::Family;
 use serde::Value;
 
 struct Options {
     scenario: Option<String>,
+    family: Family,
     seed: u64,
     addr: String,
     workers: Option<usize>,
@@ -80,6 +86,16 @@ impl From<&str> for CliError {
     }
 }
 
+/// Resolves a scenario-family name, with the scheduler flag's exit-2
+/// contract for typos.
+fn parse_family(name: Option<&str>) -> Result<Family, CliError> {
+    let name = name.ok_or_else(|| CliError::usage("--family needs a name"))?;
+    Family::from_name(name).ok_or_else(|| CliError {
+        message: format!("unknown family `{name}` (valid: {})", Family::names()),
+        exit: ExitCode::from(2),
+    })
+}
+
 /// Resolves a scheduler name against the extended heuristic labels.
 fn parse_scheduler(name: Option<&str>) -> Result<Heuristic, CliError> {
     let name = name.ok_or_else(|| CliError::usage("--scheduler needs a name"))?;
@@ -95,6 +111,7 @@ fn parse_scheduler(name: Option<&str>) -> Result<Heuristic, CliError> {
 fn parse_args() -> Result<Options, CliError> {
     let mut options = Options {
         scenario: None,
+        family: Family::Paper,
         seed: 0,
         addr: "127.0.0.1:0".to_string(),
         workers: None,
@@ -118,6 +135,9 @@ fn parse_args() -> Result<Options, CliError> {
                     .ok_or("--generate needs a seed")?
                     .parse()
                     .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--family" => {
+                options.family = parse_family(args.next().as_deref())?;
             }
             "--addr" => options.addr = args.next().ok_or("--addr needs host:port")?,
             "--workers" => {
@@ -202,7 +222,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {}", err.message);
             }
             eprintln!(
-                "usage: stage-serve [--scenario FILE | --generate SEED] [--addr HOST:PORT] \
+                "usage: stage-serve [--scenario FILE | --generate SEED] \
+                 [--family paper|satcom|wan|grid|line] [--addr HOST:PORT] \
                  [--workers N] [--scheduler partial|full-one|full-all|alap|rcd] \
                  [--criterion C1|C2|C3|C4|C3f] [--ratio X] [--weights 1,5,10|1,10,100] \
                  [--data-dir D] [--durability always|interval:<ms>|never] \
@@ -219,7 +240,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => generate(&GeneratorConfig::paper(), options.seed),
+        None => options.family.generate(options.seed),
     };
     let config = HeuristicConfig {
         criterion: options.criterion,

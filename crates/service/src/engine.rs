@@ -40,8 +40,8 @@ use dstage_resources::shard::{Footprint, ShardConfig, ShardMap};
 use serde::Value;
 
 use crate::protocol::{
-    InjectArgs, InjectKind, InjectResponse, OptimizeResponse, QueryResponse, RouteHop, SubmitArgs,
-    SubmitResponse,
+    InjectArgs, InjectKind, InjectResponse, OptimizeResponse, P2mpSubmitArgs, P2mpSubmitResponse,
+    QueryResponse, RouteHop, SubmitArgs, SubmitResponse,
 };
 
 /// Swap budget used when an `optimize` request does not name one.
@@ -364,6 +364,56 @@ impl AdmissionEngine {
     /// *different* arguments; nothing is logged.
     pub fn submit(&mut self, args: &SubmitArgs) -> Result<SubmitResponse, String> {
         self.submit_with(args, None)
+    }
+
+    /// Decides admission for a point-to-multipoint group: one item, many
+    /// destinations, each decided in order through the ordinary admission
+    /// path. Every member after the first plans against the ledger the
+    /// earlier members committed, so upstream staged copies are shared —
+    /// a destination behind an already-fed hub reserves only its own
+    /// final leg (smaller `new_transfers`), while still earning its own
+    /// per-destination decision and `W[p]` credit.
+    ///
+    /// Each destination is logged as its own submission, so snapshots,
+    /// replay, and the decision-log schema are unchanged: per-destination
+    /// outcomes, byte-identical replays. A group `idempotency_key` fans
+    /// out to derived member keys (`key#0`, `key#1`, ...), so a group
+    /// retry replays every member's recorded decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an empty or duplicated destination list
+    /// (nothing logged), and propagates a derived-key conflict —
+    /// members decided before the conflicting one stay logged, exactly
+    /// as if they had been submitted individually.
+    pub fn submit_p2mp(&mut self, args: &P2mpSubmitArgs) -> Result<P2mpSubmitResponse, String> {
+        if args.destinations.is_empty() {
+            return Err("point-to-multipoint submit needs at least one destination".to_string());
+        }
+        for (i, d) in args.destinations.iter().enumerate() {
+            if args.destinations[..i].contains(d) {
+                return Err(format!("duplicate destination {d} in point-to-multipoint submit"));
+            }
+        }
+        dstage_obs::metrics::SERVICE_P2MP_GROUPS.inc();
+        let mut group = Vec::with_capacity(args.destinations.len());
+        for (i, &destination) in args.destinations.iter().enumerate() {
+            let member = SubmitArgs {
+                item: args.item.clone(),
+                destination,
+                deadline_ms: args.deadline_ms,
+                priority: args.priority,
+                idempotency_key: args.idempotency_key.as_ref().map(|k| format!("{k}#{i}")),
+            };
+            group.push(self.submit(&member)?);
+        }
+        let admitted = group.iter().filter(|r| r.decision == "admitted").count() as u64;
+        Ok(P2mpSubmitResponse {
+            ok: true,
+            admitted,
+            rejected: group.len() as u64 - admitted,
+            group,
+        })
     }
 
     /// Like [`AdmissionEngine::submit`], but may commit an [`Evaluation`]
@@ -1909,6 +1959,93 @@ mod tests {
         assert!(q.eta_ms.unwrap() > loss_at, "re-delivery must postdate the loss");
         let c = e.counters();
         assert_eq!((c.injections, c.repaired, c.evicted, c.satisfied), (1, 1, 0, 1));
+    }
+
+    fn p2mp(item: &str, destinations: Vec<u32>, key: Option<&str>) -> P2mpSubmitArgs {
+        P2mpSubmitArgs {
+            item: item.to_string(),
+            destinations,
+            deadline_ms: 1_800_000,
+            priority: 2,
+            idempotency_key: key.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn p2mp_group_shares_staged_hops_and_logs_per_destination() {
+        // fan_out: m0 --L0--> hub(m1) --L1/L2/L3--> d1..d3 (machines
+        // 2..4). The first destination stages src->hub plus its leaf
+        // leg; every later destination reuses the hub's staged copy and
+        // reserves only its own leg.
+        let mut e = AdmissionEngine::new(&fan_out(), Heuristic::FullPathOneDestination, config());
+        let item = e.item_names().next().unwrap().to_string();
+        let g = e.submit_p2mp(&p2mp(&item, vec![2, 3, 4], None)).unwrap();
+        assert_eq!((g.admitted, g.rejected), (3, 0));
+        assert_eq!(g.group.len(), 3);
+        let new_transfers: Vec<u64> = g.group.iter().map(|r| r.new_transfers.unwrap()).collect();
+        assert_eq!(new_transfers[0], 2, "first member pays the shared hop plus its leg");
+        assert_eq!(&new_transfers[1..], &[1, 1], "later members reuse the staged hub copy");
+        // Per-destination outcomes: one submission log record each.
+        assert_eq!(e.submission_count(), 3);
+        assert_eq!(e.admitted_count(), 3);
+        assert_eq!(e.counters().weighted_sum, 300);
+
+        // Replaying the per-destination log rebuilds the same snapshot.
+        let snapshot = e.snapshot();
+        let Some(Value::Array(log)) = snapshot.get("log") else { panic!("no log") };
+        let mut replayed =
+            AdmissionEngine::new(&fan_out(), Heuristic::FullPathOneDestination, config());
+        for entry in log {
+            replayed.replay_record(entry).unwrap();
+        }
+        assert_eq!(
+            serde_json::to_string(&snapshot).unwrap(),
+            serde_json::to_string(&replayed.snapshot()).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_destination_p2mp_matches_plain_submit() {
+        let mut grouped =
+            AdmissionEngine::new(&fan_out(), Heuristic::FullPathOneDestination, config());
+        let item = grouped.item_names().next().unwrap().to_string();
+        let g = grouped.submit_p2mp(&p2mp(&item, vec![2], None)).unwrap();
+        assert_eq!((g.admitted, g.rejected), (1, 0));
+
+        let mut plain =
+            AdmissionEngine::new(&fan_out(), Heuristic::FullPathOneDestination, config());
+        submit(&mut plain, &item, 2, 1_800_000);
+        assert_eq!(
+            serde_json::to_string(&grouped.snapshot()).unwrap(),
+            serde_json::to_string(&plain.snapshot()).unwrap(),
+            "a single-destination group must be indistinguishable from a plain submit"
+        );
+    }
+
+    #[test]
+    fn p2mp_rejects_malformed_groups_without_residue() {
+        let mut e = AdmissionEngine::new(&fan_out(), Heuristic::FullPathOneDestination, config());
+        let item = e.item_names().next().unwrap().to_string();
+        assert!(e.submit_p2mp(&p2mp(&item, vec![], None)).is_err());
+        let err = e.submit_p2mp(&p2mp(&item, vec![2, 3, 2], None)).unwrap_err();
+        assert!(err.contains("duplicate destination"), "got: {err}");
+        assert!(e.log().is_empty());
+    }
+
+    #[test]
+    fn p2mp_group_retry_replays_every_member() {
+        let mut e = AdmissionEngine::new(&fan_out(), Heuristic::FullPathOneDestination, config());
+        let item = e.item_names().next().unwrap().to_string();
+        let first = e.submit_p2mp(&p2mp(&item, vec![2, 3], Some("g-1"))).unwrap();
+        assert_eq!(e.submission_count(), 2);
+        // The derived member keys (g-1#0, g-1#1) replay the recorded
+        // decisions: nothing new is logged or admitted.
+        let retry = e.submit_p2mp(&p2mp(&item, vec![2, 3], Some("g-1"))).unwrap();
+        assert_eq!(serde_json::to_string(&retry).unwrap(), serde_json::to_string(&first).unwrap());
+        assert_eq!(e.submission_count(), 2);
+        assert_eq!(e.admitted_count(), 2);
+        // The same group key with different members conflicts.
+        assert!(e.submit_p2mp(&p2mp(&item, vec![2, 4], Some("g-1"))).is_err());
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! `submit` may carry an `idempotency_key`: resubmitting the same key
 //! with the same arguments returns the original decision instead of
 //! deciding again, so a client that lost a response can retry safely.
+//! A `submit` with a `destinations` array instead of a single
+//! `destination` is a point-to-multipoint submission: every destination
+//! is decided in order through the ordinary admission path (so each
+//! lands in the decision log as its own per-destination outcome) and
+//! the response aggregates the per-destination decisions.
 //! `inject` feeds a live disturbance (a link outage or a copy loss,
 //! mirroring `dstage_dynamic::EventKind`) into the daemon, which cancels
 //! invalidated reservations and repairs displaced requests.
@@ -19,6 +24,9 @@ use serde::{Serialize, Value};
 pub enum ClientRequest {
     /// Ask for admission of a new data request.
     Submit(SubmitArgs),
+    /// Ask for admission of a point-to-multipoint request: one item,
+    /// several destinations decided in order, sharing staged copies.
+    SubmitP2mp(P2mpSubmitArgs),
     /// Ask for the status/route/ETA of an admitted request.
     Query {
         /// The request id returned by an earlier `submit`.
@@ -87,6 +95,23 @@ pub struct SubmitArgs {
     pub idempotency_key: Option<String>,
 }
 
+/// Arguments of a point-to-multipoint `submit` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2mpSubmitArgs {
+    /// Name of the data item in the catalog.
+    pub item: String,
+    /// Destination machine ids, decided in order.
+    pub destinations: Vec<u32>,
+    /// Absolute deadline in simulation milliseconds, shared by the group.
+    pub deadline_ms: u64,
+    /// Priority level (0 = low), shared by the group.
+    pub priority: u8,
+    /// Client-chosen retry token for the whole group; each destination
+    /// derives its own key from it (`key#0`, `key#1`, ...), so a retried
+    /// group replays every per-destination decision.
+    pub idempotency_key: Option<String>,
+}
+
 /// What kind of disturbance an `inject` request carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InjectKind {
@@ -140,6 +165,19 @@ impl ClientRequest {
             .and_then(Value::as_str)
             .ok_or_else(|| "missing string field `verb`".to_string())?;
         match verb {
+            "submit" if value.get("destinations").is_some() => {
+                if value.get("destination").is_some() {
+                    return Err("give either `destination` or `destinations`, not both".to_string());
+                }
+                Ok(ClientRequest::SubmitP2mp(P2mpSubmitArgs {
+                    item: require_str(&value, "item")?.to_string(),
+                    destinations: require_u32_array(&value, "destinations")?,
+                    deadline_ms: require_u64(&value, "deadline_ms")?,
+                    priority: u8::try_from(require_u64(&value, "priority")?)
+                        .map_err(|_| "field `priority` out of range".to_string())?,
+                    idempotency_key: optional_str(&value, "idempotency_key")?,
+                }))
+            }
             "submit" => Ok(ClientRequest::Submit(SubmitArgs {
                 item: require_str(&value, "item")?.to_string(),
                 destination: u32::try_from(require_u64(&value, "destination")?)
@@ -236,6 +274,24 @@ fn require_u64(value: &Value, field: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing unsigned integer field `{field}`"))
 }
 
+fn require_u32_array(value: &Value, field: &str) -> Result<Vec<u32>, String> {
+    let items = value
+        .get(field)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("field `{field}` must be an array"))?;
+    if items.is_empty() {
+        return Err(format!("field `{field}` must not be empty"));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("field `{field}` must hold machine ids"))
+        })
+        .collect()
+}
+
 /// Serializes a response value as one NDJSON line (no trailing newline).
 ///
 /// Falls back to a generic error object if serialization itself fails —
@@ -271,6 +327,20 @@ pub struct SubmitResponse {
     /// Why admission was refused; absent on admission.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub reason: Option<String>,
+}
+
+/// Response to a point-to-multipoint `submit` request.
+#[derive(Debug, Clone, Serialize)]
+pub struct P2mpSubmitResponse {
+    /// Whether the group was understood (per-destination *rejections*
+    /// still carry `ok: true` — they are successful decisions).
+    pub ok: bool,
+    /// Destinations admitted onto a route.
+    pub admitted: u64,
+    /// Destinations refused admission.
+    pub rejected: u64,
+    /// The per-destination decisions, in submission order.
+    pub group: Vec<SubmitResponse>,
 }
 
 /// Response to an `inject` request.
@@ -483,6 +553,42 @@ mod tests {
         // Present but ill-typed is an error, not a silent None.
         assert!(ClientRequest::parse(
             r#"{"verb":"submit","item":"m","destination":0,"deadline_ms":1,"priority":0,"idempotency_key":7}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_p2mp_submissions() {
+        let submit = ClientRequest::parse(
+            r#"{"verb":"submit","item":"map","destinations":[3,5,2],"deadline_ms":60000,"priority":2,"idempotency_key":"g-1"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            submit,
+            ClientRequest::SubmitP2mp(P2mpSubmitArgs {
+                item: "map".to_string(),
+                destinations: vec![3, 5, 2],
+                deadline_ms: 60_000,
+                priority: 2,
+                idempotency_key: Some("g-1".to_string()),
+            })
+        );
+        // Empty and ill-typed destination lists are errors.
+        assert!(ClientRequest::parse(
+            r#"{"verb":"submit","item":"m","destinations":[],"deadline_ms":1,"priority":0}"#
+        )
+        .is_err());
+        assert!(ClientRequest::parse(
+            r#"{"verb":"submit","item":"m","destinations":["a"],"deadline_ms":1,"priority":0}"#
+        )
+        .is_err());
+        assert!(ClientRequest::parse(
+            r#"{"verb":"submit","item":"m","destinations":7,"deadline_ms":1,"priority":0}"#
+        )
+        .is_err());
+        // Mixing the singular and plural forms is ambiguous.
+        assert!(ClientRequest::parse(
+            r#"{"verb":"submit","item":"m","destination":1,"destinations":[2],"deadline_ms":1,"priority":0}"#
         )
         .is_err());
     }

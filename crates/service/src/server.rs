@@ -445,6 +445,7 @@ fn verb_obs(request: &ClientRequest) -> (&'static str, &'static dstage_obs::Hist
     use dstage_obs::metrics as m;
     match request {
         ClientRequest::Submit(_) => ("verb.submit", &m::SERVICE_VERB_SUBMIT_US),
+        ClientRequest::SubmitP2mp(_) => ("verb.submit_p2mp", &m::SERVICE_VERB_SUBMIT_US),
         ClientRequest::Query { .. } => ("verb.query", &m::SERVICE_VERB_QUERY_US),
         ClientRequest::Inject(_) => ("verb.inject", &m::SERVICE_VERB_INJECT_US),
         ClientRequest::Optimize { .. } => ("verb.optimize", &m::SERVICE_VERB_OPTIMIZE_US),
@@ -513,6 +514,31 @@ fn dispatch_parsed(shared: &Shared, request: ClientRequest) -> String {
         ClientRequest::Submit(args) => {
             let start = Instant::now();
             let result = batched_submit(shared, args);
+            let line = match result {
+                Ok(response) => {
+                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    shared.latency.lock().record(micros);
+                    response_line(&response)
+                }
+                Err(message) => ErrorResponse::line(message),
+            };
+            maybe_checkpoint(shared);
+            line
+        }
+        ClientRequest::SubmitP2mp(args) => {
+            // Exclusive path: the group's members must be decided
+            // back-to-back so later destinations plan against the ledger
+            // the earlier ones committed (the shared-hop guarantee).
+            // Durability follows the inject contract: stage under the
+            // write lock, fsync after it, reply last.
+            let start = Instant::now();
+            let mut guard = shared.engine.write();
+            let result = guard.submit_p2mp(&args);
+            let staged = shared.durability.get().map(|d| d.stage(&guard));
+            drop(guard);
+            if let (Some(d), Some(seq)) = (shared.durability.get(), staged) {
+                d.commit(seq);
+            }
             let line = match result {
                 Ok(response) => {
                     let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);

@@ -15,7 +15,7 @@ use dstage_core::heuristic::{Heuristic, HeuristicConfig};
 use dstage_model::request::PriorityWeights;
 use dstage_service::engine::AdmissionEngine;
 use dstage_service::protocol::{InjectArgs, InjectKind, SubmitArgs};
-use dstage_workload::{generate, GeneratorConfig};
+use dstage_workload::{generate, Family, GeneratorConfig};
 use serde::Value;
 
 /// Workload seed shared by the daemon (`--generate`) and the load
@@ -39,9 +39,18 @@ fn config() -> HeuristicConfig {
     }
 }
 
-fn spawn_server() -> (Child, String) {
+fn spawn_server(family: &str) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_stage-serve"))
-        .args(["--generate", &SEED.to_string(), "--addr", "127.0.0.1:0", "--workers", "8"])
+        .args([
+            "--generate",
+            &SEED.to_string(),
+            "--family",
+            family,
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "8",
+        ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -193,13 +202,26 @@ fn alap_repairs_at_least_as_many_displaced_requests_as_partial() {
 
 #[test]
 fn chaotic_run_snapshot_equals_fault_free_replay() {
+    chaos_run(Family::Paper);
+}
+
+/// The same chaos invariant on the inter-datacenter WAN family: its
+/// catalog is built from point-to-multipoint groups expanded to
+/// per-destination requests, so this pins that expansion survives faults
+/// and replays byte-for-byte like any plain catalog.
+#[test]
+fn wan_family_chaos_snapshot_matches_fault_free_replay() {
+    chaos_run(Family::Wan);
+}
+
+fn chaos_run(family: Family) {
     let started = Instant::now();
-    let scenario = generate(&GeneratorConfig::paper(), SEED);
+    let scenario = family.generate(SEED);
     let item = {
-        let (_, request) = scenario.requests().next().expect("paper catalog has requests");
+        let (_, request) = scenario.requests().next().expect("catalog has requests");
         scenario.item(request.item()).name().to_string()
     };
-    let (mut server, addr) = spawn_server();
+    let (mut server, addr) = spawn_server(family.name());
 
     // Load phase: the real loadgen binary with the chaos proxy
     // interposed. Every submit line is keyed, so retries through the
@@ -214,6 +236,8 @@ fn chaotic_run_snapshot_equals_fault_free_replay() {
             &REQUESTS.to_string(),
             "--seed",
             &SEED.to_string(),
+            "--family",
+            family.name(),
             "--timeout-ms",
             "2000",
             "--retries",

@@ -102,6 +102,59 @@ fn sixteen_worker_batches_match_sequential_replay() {
     exercise_loopback(16);
 }
 
+/// A point-to-multipoint submit over the wire: the group response
+/// carries one per-destination decision each, later members reuse the
+/// staged upstream copy, and the per-destination decision log replays
+/// byte-for-byte.
+#[test]
+fn p2mp_submit_round_trip_shares_hops_and_replays() {
+    let scenario = dstage_workload::small::fan_out();
+    let scenario_path =
+        std::env::temp_dir().join(format!("dstage-loopback-p2mp-{}.json", std::process::id()));
+    std::fs::write(&scenario_path, serde_json::to_string(&scenario).expect("serialize catalog"))
+        .expect("write catalog file");
+    let (mut child, addr) = spawn_server(&scenario_path, 2);
+
+    let item = scenario.items().next().expect("fan_out has an item").1.name().to_string();
+    let (mut reader, mut writer) = connect(&addr);
+    let line = format!(
+        r#"{{"verb":"submit","item":"{item}","destinations":[2,3,4],"deadline_ms":1800000,"priority":2,"idempotency_key":"wire-g1"}}"#
+    );
+    let response = round_trip(&mut reader, &mut writer, &line);
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(response.get("admitted").and_then(Value::as_u64), Some(3));
+    assert_eq!(response.get("rejected").and_then(Value::as_u64), Some(0));
+    let group = response.get("group").and_then(Value::as_array).expect("group array");
+    let new_transfers: Vec<u64> = group
+        .iter()
+        .map(|m| m.get("new_transfers").and_then(Value::as_u64).expect("new_transfers"))
+        .collect();
+    assert_eq!(new_transfers, [2, 1, 1], "later members must reuse the staged hub copy");
+    // A group retry replays every member decision byte-for-byte.
+    let retry = round_trip(&mut reader, &mut writer, &line);
+    assert_eq!(serde_json::to_string(&retry).unwrap(), serde_json::to_string(&response).unwrap());
+
+    let snapshot = round_trip(&mut reader, &mut writer, r#"{"verb":"snapshot"}"#);
+    assert_eq!(snapshot.get("submissions").and_then(Value::as_u64), Some(3));
+    let bye = round_trip(&mut reader, &mut writer, r#"{"verb":"shutdown"}"#);
+    assert_eq!(bye.get("draining").and_then(Value::as_bool), Some(true));
+    drop((reader, writer));
+    let status = child.wait().expect("wait for stage-serve");
+    assert!(status.success(), "stage-serve must drain cleanly, got {status:?}");
+    let _ = std::fs::remove_file(&scenario_path);
+
+    let mut replay = AdmissionEngine::new(&scenario, Heuristic::FullPathOneDestination, config());
+    let log = snapshot.get("log").and_then(Value::as_array).expect("snapshot log");
+    for entry in log {
+        replay.replay_record(entry).expect("replay log record");
+    }
+    assert_eq!(
+        serde_json::to_string(&replay.snapshot()).expect("serialize replay"),
+        serde_json::to_string(&snapshot).expect("reserialize snapshot"),
+        "per-destination decisions must replay identically"
+    );
+}
+
 fn exercise_loopback(workers: usize) {
     let scenario = catalog();
     let scenario_path = std::env::temp_dir()

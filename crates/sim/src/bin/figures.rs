@@ -4,7 +4,7 @@
 //! figures [OPTIONS] [EXPERIMENT...]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions
-//!             schedulers optimizer fault-tolerance congestion | all
+//!             schedulers optimizer fault-tolerance congestion families | all
 //!             (default: all)
 //!
 //! OPTIONS:
@@ -28,6 +28,25 @@ use std::process::ExitCode;
 use dstage_sim::experiments::{self, ExperimentReport};
 use dstage_sim::runner::Harness;
 use dstage_workload::GeneratorConfig;
+
+/// Canonical experiment names, in default run order. Aliases with
+/// underscores (`prio_first`, `fault_tolerance`) normalize to these.
+const EXPERIMENT_NAMES: [&str; 14] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "weights",
+    "prio-first",
+    "minmax",
+    "exec",
+    "extensions",
+    "schedulers",
+    "optimizer",
+    "fault-tolerance",
+    "congestion",
+    "families",
+];
 
 struct Options {
     cases: usize,
@@ -85,24 +104,7 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     if options.experiments.is_empty() || options.experiments.iter().any(|e| e == "all") {
-        options.experiments = [
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "weights",
-            "prio-first",
-            "minmax",
-            "exec",
-            "extensions",
-            "schedulers",
-            "optimizer",
-            "fault-tolerance",
-            "congestion",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        options.experiments = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect();
     }
     Ok(options)
 }
@@ -204,6 +206,12 @@ fn run_experiment(name: &str, harness: &Harness, options: &Options) -> Option<Ex
             // tractable while staying statistically meaningful.
             Some(experiments::congestion(&base, options.cases.min(10)))
         }
+        "families" => {
+            // Five schedulers x five families, fault-free and re-planned
+            // under copy loss; a reduced case count keeps the online
+            // simulations tractable at paper scale.
+            Some(experiments::families(options.cases.min(10), options.small))
+        }
         _ => None,
     }
 }
@@ -219,11 +227,24 @@ fn main() -> ExitCode {
                 "usage: figures [--cases N] [--budget N] [--small] [--out DIR] [--threads N] \
                  [--quiet] [--profile] \
                  [fig2 fig3 fig4 fig5 weights prio-first minmax exec extensions schedulers \
-                 optimizer fault-tolerance congestion | all]"
+                 optimizer fault-tolerance congestion families | all]"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
+
+    // Reject unknown experiment names before any sweep work starts, with
+    // the same friendly exit-2 contract the daemon's --scheduler flag has.
+    for name in &options.experiments {
+        let canonical = name.replace('_', "-");
+        if !EXPERIMENT_NAMES.contains(&canonical.as_str()) {
+            eprintln!(
+                "error: unknown experiment {name:?} (valid: {}, all)",
+                EXPERIMENT_NAMES.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
 
     let config = if options.small { GeneratorConfig::small() } else { GeneratorConfig::paper() };
     let mut harness = Harness::new(&config, options.cases);

@@ -688,6 +688,105 @@ pub fn fault_tolerance(base: &dstage_workload::GeneratorConfig, cases: usize) ->
     }
 }
 
+/// **families**: every scheduler × every scenario family × fault mix in
+/// one sweep. The paper's study stays inside the uniform random §5.3
+/// generator; this experiment ranges the extended scheduler matrix over
+/// the structured families too — satcom (trunk bottleneck), the
+/// inter-datacenter WAN (fat diurnal links, DDCCast-style P2MP groups
+/// whose destinations share staged upstream copies), the grid mesh, and
+/// the Even/Medina/Rosén adversarial line — first fault-free, then under
+/// a fixed copy-loss mix (the earliest deliveries destroyed shortly
+/// after arrival, re-planned online with each scheduler).
+///
+/// Runs its own generators, so it does not share the main harness;
+/// `cases` seeds per family.
+pub fn families(cases: usize, small: bool) -> ExperimentReport {
+    use dstage_core::heuristic::{run, HeuristicConfig};
+    use dstage_dynamic::{simulate, Event, EventKind, EventLog, OnlinePolicy};
+    use dstage_model::time::SimDuration;
+    use dstage_workload::Family;
+
+    const LOSSES_PER_CASE: usize = 3;
+    let weights = Weighting::W1_10_100.weights();
+    let config = HeuristicConfig::paper_best();
+    let generate = |family: Family, seed: u64| {
+        if small {
+            family.generate_small(seed)
+        } else {
+            family.generate(seed)
+        }
+    };
+
+    let mut header = vec!["family".into(), "mean requests".into(), "mean p2mp groups".into()];
+    header.extend(Heuristic::EXTENDED.iter().map(ToString::to_string));
+    let mut clean = Table::new("Mean weighted sum by scheduler and family (fault-free)", header);
+
+    let mut header = vec!["family".into()];
+    header.extend(Heuristic::EXTENDED.iter().map(ToString::to_string));
+    let mut faulted = Table::new(
+        format!(
+            "Weighted sum kept [%] after destroying the {LOSSES_PER_CASE} earliest \
+             deliveries per case (online re-plan per scheduler)"
+        ),
+        header,
+    );
+
+    for family in Family::ALL {
+        let scenarios: Vec<_> = (0..cases as u64).map(|seed| generate(family, seed)).collect();
+        let mean_requests = scenarios.iter().map(|s| s.request_count() as f64).sum::<f64>()
+            / scenarios.len().max(1) as f64;
+        let mean_groups = scenarios.iter().map(|s| s.p2mp_groups().len() as f64).sum::<f64>()
+            / scenarios.len().max(1) as f64;
+
+        let mut clean_row =
+            vec![family.to_string(), format!("{mean_requests:.0}"), format!("{mean_groups:.0}")];
+        let mut faulted_row = vec![family.to_string()];
+        for h in Heuristic::EXTENDED {
+            let mean = scenarios
+                .iter()
+                .map(|s| run(s, h, &config).schedule.evaluate(s, &weights).weighted_sum as f64)
+                .sum::<f64>()
+                / scenarios.len().max(1) as f64;
+            clean_row.push(format!("{mean:.1}"));
+
+            let policy = OnlinePolicy { heuristic: h, config: config.clone(), optimize_budget: 0 };
+            let mut kept_pct_acc = 0.0f64;
+            for scenario in &scenarios {
+                let offline = run(scenario, h, &config);
+                let offline_sum = offline.schedule.evaluate(scenario, &weights).weighted_sum.max(1);
+                let mut deliveries: Vec<_> = offline.schedule.deliveries().to_vec();
+                deliveries.sort_by_key(|d| d.at);
+                let mut events = Vec::new();
+                for d in deliveries.iter().take(LOSSES_PER_CASE) {
+                    let req = scenario.request(d.request);
+                    let loss_at = d.at + SimDuration::from_mins(1);
+                    if loss_at > req.deadline() {
+                        continue; // already safe: data survived to its deadline
+                    }
+                    events.push(Event::new(
+                        loss_at,
+                        EventKind::CopyLoss { item: req.item(), machine: req.destination() },
+                    ));
+                }
+                let log = EventLog::new(scenario, events).expect("ids from the scenario");
+                let outcome = simulate(scenario, &log, &policy);
+                let online_sum = outcome.executed.evaluate(scenario, &weights).weighted_sum;
+                kept_pct_acc += 100.0 * online_sum as f64 / offline_sum as f64;
+            }
+            faulted_row.push(format!("{:.1}", kept_pct_acc / scenarios.len().max(1) as f64));
+        }
+        clean.push_row(clean_row);
+        faulted.push_row(faulted_row);
+    }
+
+    ExperimentReport {
+        id: "families",
+        title: "Scheduler matrix across scenario families, fault-free and under copy loss".into(),
+        tables: vec![clean, faulted],
+        plots: vec![],
+    }
+}
+
 /// Runs every experiment in paper order.
 pub fn all(harness: &Harness) -> Vec<ExperimentReport> {
     vec![
@@ -711,7 +810,7 @@ pub type PrefetchSet = (Vec<(SchedulerKind, Weighting)>, Vec<Weighting>);
 ///
 /// Returns `None` for unknown ids and for the experiments that run their
 /// own scaled generators instead of the shared harness
-/// (`fault_tolerance`, `congestion`).
+/// (`fault_tolerance`, `congestion`, `families`).
 #[must_use]
 pub fn work_units(id: &str) -> Option<PrefetchSet> {
     let w = Weighting::W1_10_100;

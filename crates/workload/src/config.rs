@@ -96,13 +96,46 @@ impl GeneratorConfig {
         }
     }
 
+    /// The largest request-per-machine factor [`Self::with_congestion`]
+    /// will produce. Beyond this the generator would allocate hundreds of
+    /// millions of requests per scenario, which no sweep can use; a
+    /// congestion factor that lands past the ceiling clamps here with a
+    /// logged warning instead of silently saturating the integer range.
+    pub const MAX_REQUEST_FACTOR: u32 = 100_000;
+
     /// Scales the request load, the paper's "congestion of the network"
     /// future-work knob: `factor` multiplies the request-per-machine
     /// range.
+    ///
+    /// Out-of-range factors are clamped, not wrapped: a non-finite or
+    /// non-positive factor falls back to `1.0`, and a product past
+    /// [`Self::MAX_REQUEST_FACTOR`] clamps to it — both with a warning on
+    /// stderr.
     #[must_use]
     pub fn with_congestion(mut self, factor: f64) -> Self {
-        let lo = (*self.request_factor.start() as f64 * factor).round().max(1.0) as u32;
-        let hi = (*self.request_factor.end() as f64 * factor).round().max(1.0) as u32;
+        let factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            eprintln!(
+                "warning: congestion factor {factor} is not a positive finite number; using 1.0"
+            );
+            1.0
+        };
+        let scale = |bound: u32| {
+            let scaled = (f64::from(bound) * factor).round();
+            if scaled >= f64::from(Self::MAX_REQUEST_FACTOR) {
+                eprintln!(
+                    "warning: congestion factor {factor} pushes the request factor past {}; clamping",
+                    Self::MAX_REQUEST_FACTOR
+                );
+                Self::MAX_REQUEST_FACTOR
+            } else {
+                // In-range and rounded: the cast is exact.
+                scaled.max(1.0) as u32
+            }
+        };
+        let lo = scale(*self.request_factor.start());
+        let hi = scale(*self.request_factor.end());
         self.request_factor = lo..=hi.max(lo);
         self
     }
@@ -142,5 +175,24 @@ mod tests {
         assert_eq!(c.request_factor, 10..=20);
         let c = GeneratorConfig::default().with_congestion(2.0);
         assert_eq!(c.request_factor, 40..=80);
+    }
+
+    #[test]
+    fn congestion_clamps_out_of_range_factors() {
+        // A huge factor clamps to the ceiling instead of saturating the
+        // integer range (which used to explode the request count).
+        let c = GeneratorConfig::default().with_congestion(1e18);
+        assert_eq!(
+            c.request_factor,
+            GeneratorConfig::MAX_REQUEST_FACTOR..=GeneratorConfig::MAX_REQUEST_FACTOR
+        );
+        // Non-finite and non-positive factors fall back to the identity.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -3.0] {
+            let c = GeneratorConfig::default().with_congestion(bad);
+            assert_eq!(c.request_factor, 20..=40, "factor {bad}");
+        }
+        // A tiny factor bottoms out at one request per machine.
+        let c = GeneratorConfig::default().with_congestion(1e-9);
+        assert_eq!(c.request_factor, 1..=1);
     }
 }

@@ -1,0 +1,132 @@
+//! Named scenario families.
+//!
+//! A [`Family`] names one workload generator so sweeps, the admission
+//! daemon, and the load generator can all select catalogs by the same
+//! strings: the paper's §5.3 uniform random generator plus the four
+//! structured families (satcom, WAN, grid, line). Every family is
+//! deterministic in `(family, seed, scale)`.
+
+use dstage_model::scenario::Scenario;
+
+use crate::config::GeneratorConfig;
+use crate::grid::{generate_grid, GridConfig};
+use crate::line::{generate_line, LineConfig};
+use crate::satcom::{generate_satcom, SatcomConfig};
+use crate::wan::{generate_wan, WanConfig};
+
+/// One named scenario family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// The paper's §5.3 uniform random generator.
+    Paper,
+    /// The BADD-flavoured satcom topology (rear sites, trunk, spokes).
+    Satcom,
+    /// Inter-datacenter WAN: few fat links, diurnal bandwidth, P2MP mixes.
+    Wan,
+    /// Grid file transfers: rows × cols mesh, multi-hop paths.
+    Grid,
+    /// The Even/Medina/Rosén adversarial line network.
+    Line,
+}
+
+impl Family {
+    /// All families, in presentation order.
+    pub const ALL: [Family; 5] =
+        [Family::Paper, Family::Satcom, Family::Wan, Family::Grid, Family::Line];
+
+    /// The structured (non-random) families added on top of the paper's
+    /// generator.
+    pub const STRUCTURED: [Family; 4] = [Family::Satcom, Family::Wan, Family::Grid, Family::Line];
+
+    /// The family's canonical name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Paper => "paper",
+            Family::Satcom => "satcom",
+            Family::Wan => "wan",
+            Family::Grid => "grid",
+            Family::Line => "line",
+        }
+    }
+
+    /// Parses a family name (the inverse of [`Family::name`]).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// The comma-separated list of valid names, for error messages.
+    #[must_use]
+    pub fn names() -> String {
+        Family::ALL.map(Family::name).join(", ")
+    }
+
+    /// Generates one scenario of this family at full (paper) scale.
+    /// Deterministic in `(self, seed)`.
+    #[must_use]
+    pub fn generate(self, seed: u64) -> Scenario {
+        match self {
+            Family::Paper => crate::generate(&GeneratorConfig::paper(), seed),
+            Family::Satcom => generate_satcom(&SatcomConfig::default(), seed),
+            Family::Wan => generate_wan(&WanConfig::default(), seed),
+            Family::Grid => generate_grid(&GridConfig::default(), seed),
+            Family::Line => generate_line(&LineConfig::default(), seed),
+        }
+    }
+
+    /// Generates one scaled-down scenario of this family, for fast tests
+    /// and CI sweeps. Deterministic in `(self, seed)`.
+    #[must_use]
+    pub fn generate_small(self, seed: u64) -> Scenario {
+        match self {
+            Family::Paper => crate::generate(&GeneratorConfig::small(), seed),
+            Family::Satcom => generate_satcom(
+                &SatcomConfig {
+                    spokes: 4,
+                    items: 12,
+                    requests_per_spoke: 4,
+                    ..SatcomConfig::default()
+                },
+                seed,
+            ),
+            Family::Wan => generate_wan(&WanConfig::small(), seed),
+            Family::Grid => generate_grid(&GridConfig::small(), seed),
+            Family::Line => generate_line(&LineConfig::small(), seed),
+        }
+    }
+}
+
+impl core::fmt::Display for Family {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for family in Family::ALL {
+            assert_eq!(Family::from_name(family.name()), Some(family));
+        }
+        assert_eq!(Family::from_name("nope"), None);
+        assert_eq!(Family::names(), "paper, satcom, wan, grid, line");
+    }
+
+    #[test]
+    fn every_family_generates_at_both_scales() {
+        for family in Family::ALL {
+            let full = family.generate(0);
+            let small = family.generate_small(0);
+            assert!(full.request_count() > 0, "{family}");
+            assert!(small.request_count() > 0, "{family}");
+            assert!(
+                small.request_count() <= full.request_count(),
+                "{family}: small scale must not exceed full scale"
+            );
+        }
+    }
+}

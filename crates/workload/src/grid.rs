@@ -1,0 +1,179 @@
+//! A grid file-transfer workload family.
+//!
+//! Machines on a rows × cols mesh with always-up moderate links to their
+//! four neighbours; files live at random cells and are requested by
+//! random other cells. Multi-hop paths are the norm (the diameter is
+//! `rows + cols - 2`), so staging decisions compound along the way —
+//! a regime the uniform random topology, with its dense degree-4-to-7
+//! wiring, rarely produces.
+
+use core::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dstage_model::data::{DataItem, DataSource};
+use dstage_model::ids::{DataItemId, MachineId};
+use dstage_model::link::VirtualLink;
+use dstage_model::machine::Machine;
+use dstage_model::network::NetworkBuilder;
+use dstage_model::request::{Priority, Request};
+use dstage_model::scenario::Scenario;
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_model::units::{BitsPerSec, Bytes};
+
+/// Tunables of the grid workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridConfig {
+    /// Grid rows (default 3).
+    pub rows: usize,
+    /// Grid columns (default 4).
+    pub cols: usize,
+    /// Per-physical-link bandwidth range in bit/s (default 200–800 Kbit/s).
+    pub bandwidth: RangeInclusive<u64>,
+    /// Number of files (default 15).
+    pub items: usize,
+    /// Number of requests (default 45).
+    pub requests: usize,
+    /// File sizes (default 50 KB – 8 MB).
+    pub item_size: RangeInclusive<u64>,
+    /// Deadline offset after file availability, minutes (default 20–80).
+    pub deadline_offset_mins: RangeInclusive<u64>,
+    /// Scheduling horizon (default 2 hours).
+    pub horizon: SimTime,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            rows: 3,
+            cols: 4,
+            bandwidth: 200_000..=800_000,
+            items: 15,
+            requests: 45,
+            item_size: 50_000..=8_000_000,
+            deadline_offset_mins: 20..=80,
+            horizon: SimTime::from_hours(2),
+        }
+    }
+}
+
+impl GridConfig {
+    /// A scaled-down configuration for fast tests and CI sweeps.
+    #[must_use]
+    pub fn small() -> Self {
+        GridConfig { rows: 2, cols: 3, items: 8, requests: 16, ..GridConfig::default() }
+    }
+}
+
+/// Generates a grid file-transfer scenario. Deterministic in
+/// `(config, seed)`.
+///
+/// Machines are `grid-r{row}c{col}` in row-major order; every cell has
+/// always-up bidirectional links to its right and down neighbours, each
+/// physical direction with its own uniformly drawn bandwidth. Files are
+/// placed at random cells and requested by distinct random other cells.
+///
+/// # Panics
+///
+/// Panics if the grid has fewer than two cells or no items are
+/// configured.
+#[must_use]
+pub fn generate_grid(config: &GridConfig, seed: u64) -> Scenario {
+    let cells = config.rows * config.cols;
+    assert!(cells >= 2, "a grid needs at least two cells");
+    assert!(config.items > 0, "at least one file required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+
+    let id = |r: usize, c: usize| MachineId::new((r * config.cols + c) as u32);
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            b.add_machine(Machine::new(format!("grid-r{r}c{c}"), Bytes::from_gib(4)));
+        }
+    }
+    let link = |b: &mut NetworkBuilder, from: MachineId, to: MachineId, rng: &mut StdRng| {
+        let bandwidth = BitsPerSec::new(rng.gen_range(config.bandwidth.clone()));
+        b.add_link(VirtualLink::new(from, to, SimTime::ZERO, config.horizon, bandwidth));
+    };
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            if c + 1 < config.cols {
+                link(&mut b, id(r, c), id(r, c + 1), &mut rng);
+                link(&mut b, id(r, c + 1), id(r, c), &mut rng);
+            }
+            if r + 1 < config.rows {
+                link(&mut b, id(r, c), id(r + 1, c), &mut rng);
+                link(&mut b, id(r + 1, c), id(r, c), &mut rng);
+            }
+        }
+    }
+
+    let mut scenario = Scenario::builder(b.build()).horizon(config.horizon);
+    let mut sources = Vec::with_capacity(config.items);
+    for i in 0..config.items {
+        let src = rng.gen_range(0..cells);
+        let available = SimTime::from_mins(rng.gen_range(0..=30));
+        sources.push((src, available));
+        scenario = scenario.add_item(DataItem::new(
+            format!("file-{i:03}"),
+            Bytes::new(rng.gen_range(config.item_size.clone())),
+            vec![DataSource::new(MachineId::new(src as u32), available)],
+        ));
+    }
+    let mut requests = Vec::new();
+    let mut seen: Vec<(usize, usize)> = Vec::new();
+    let mut attempts = 0;
+    while requests.len() < config.requests && attempts < config.requests * 30 {
+        attempts += 1;
+        let item = rng.gen_range(0..config.items);
+        let dest = rng.gen_range(0..cells);
+        let (src, available) = sources[item];
+        if dest == src || seen.contains(&(item, dest)) {
+            continue;
+        }
+        seen.push((item, dest));
+        let offset = rng.gen_range(config.deadline_offset_mins.clone());
+        requests.push(Request::new(
+            DataItemId::new(item as u32),
+            MachineId::new(dest as u32),
+            available + SimDuration::from_mins(offset),
+            Priority::new(rng.gen_range(0..3)),
+        ));
+    }
+    scenario.add_requests(requests).build().expect("grid construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_builds_and_is_strongly_connected() {
+        let s = generate_grid(&GridConfig::default(), 0);
+        assert!(s.network().is_strongly_connected());
+        assert_eq!(s.network().machine_count(), 12);
+        assert_eq!(s.item_count(), 15);
+        assert_eq!(s.request_count(), 45);
+        // 2 * (rows * (cols-1) + (rows-1) * cols) directed mesh links.
+        assert_eq!(s.network().link_count(), 2 * (3 * 3 + 2 * 4));
+    }
+
+    #[test]
+    fn grid_requests_never_target_their_source() {
+        let s = generate_grid(&GridConfig::default(), 3);
+        for (_, r) in s.requests() {
+            assert!(!s.item(r.item()).has_source(r.destination()));
+        }
+    }
+
+    #[test]
+    fn grid_generation_is_deterministic() {
+        let a = generate_grid(&GridConfig::default(), 7);
+        let b = generate_grid(&GridConfig::default(), 7);
+        assert_eq!(a.request_count(), b.request_count());
+        for (ra, rb) in a.requests().zip(b.requests()) {
+            assert_eq!(ra.1, rb.1);
+        }
+    }
+}

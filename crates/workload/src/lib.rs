@@ -25,11 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod family;
+pub mod grid;
+pub mod line;
 pub mod links;
 pub mod requests;
 pub mod satcom;
 pub mod small;
 pub mod topology;
+pub mod wan;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,6 +45,7 @@ use dstage_model::scenario::Scenario;
 use dstage_model::units::{BitsPerSec, Bytes};
 
 pub use config::GeneratorConfig;
+pub use family::Family;
 
 /// Generates one random scenario.
 ///

@@ -1,0 +1,156 @@
+//! The adversarial line-network workload family.
+//!
+//! Even, Medina, and Rosén study online admission on a line of `n`
+//! nodes where every job asks for an interval of consecutive links;
+//! overlapping intervals compete for the shared middle, and greedy
+//! single-path admission is provably far from the offline optimum. This
+//! family reproduces that shape for the staging problem: items live at
+//! the left endpoint of a random interval and are requested at the right
+//! endpoint, so every transfer occupies each link of its span and the
+//! heavily nested middle links become the contended resource.
+
+use core::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dstage_model::data::{DataItem, DataSource};
+use dstage_model::ids::{DataItemId, MachineId};
+use dstage_model::link::VirtualLink;
+use dstage_model::machine::Machine;
+use dstage_model::network::NetworkBuilder;
+use dstage_model::request::{Priority, Request};
+use dstage_model::scenario::Scenario;
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_model::units::{BitsPerSec, Bytes};
+
+/// Tunables of the line-network workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineConfig {
+    /// Number of nodes on the line (default 8).
+    pub nodes: usize,
+    /// Per-physical-link bandwidth range in bit/s (default 64–256 Kbit/s).
+    pub bandwidth: RangeInclusive<u64>,
+    /// Number of transfers, each its own item (default 24).
+    pub transfers: usize,
+    /// Item sizes (default 50 KB – 4 MB).
+    pub item_size: RangeInclusive<u64>,
+    /// Deadline offset after item availability, minutes (default 15–60).
+    pub deadline_offset_mins: RangeInclusive<u64>,
+    /// Scheduling horizon (default 2 hours).
+    pub horizon: SimTime,
+}
+
+impl Default for LineConfig {
+    fn default() -> Self {
+        LineConfig {
+            nodes: 8,
+            bandwidth: 64_000..=256_000,
+            transfers: 24,
+            item_size: 50_000..=4_000_000,
+            deadline_offset_mins: 15..=60,
+            horizon: SimTime::from_hours(2),
+        }
+    }
+}
+
+impl LineConfig {
+    /// A scaled-down configuration for fast tests and CI sweeps.
+    #[must_use]
+    pub fn small() -> Self {
+        LineConfig { nodes: 5, transfers: 10, ..LineConfig::default() }
+    }
+}
+
+/// Generates a line-network scenario. Deterministic in `(config, seed)`.
+///
+/// Nodes `node-0 .. node-(N-1)` are wired in a path with always-up
+/// bidirectional links (one uniformly drawn bandwidth per physical
+/// direction). Each transfer draws an interval `a < b` on the line —
+/// spans biased long so the middle links are shared by many nested
+/// intervals — places its item `seg-{i}` at `node-a`, and requests it
+/// from `node-b`.
+///
+/// # Panics
+///
+/// Panics if fewer than three nodes are configured.
+#[must_use]
+pub fn generate_line(config: &LineConfig, seed: u64) -> Scenario {
+    let n = config.nodes;
+    assert!(n >= 3, "a line needs at least three nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+
+    for i in 0..n {
+        b.add_machine(Machine::new(format!("node-{i}"), Bytes::from_gib(4)));
+    }
+    for i in 0..n - 1 {
+        let (a, z) = (MachineId::new(i as u32), MachineId::new(i as u32 + 1));
+        let forward = BitsPerSec::new(rng.gen_range(config.bandwidth.clone()));
+        let backward = BitsPerSec::new(rng.gen_range(config.bandwidth.clone()));
+        b.add_link(VirtualLink::new(a, z, SimTime::ZERO, config.horizon, forward));
+        b.add_link(VirtualLink::new(z, a, SimTime::ZERO, config.horizon, backward));
+    }
+
+    let mut scenario = Scenario::builder(b.build()).horizon(config.horizon);
+    let mut spans = Vec::with_capacity(config.transfers);
+    for i in 0..config.transfers {
+        let a = rng.gen_range(0..n - 1);
+        // Bias spans long: draw two lengths and keep the larger, so
+        // nested intervals pile up on the middle links.
+        let max_len = n - 1 - a;
+        let len = rng.gen_range(1..=max_len).max(rng.gen_range(1..=max_len));
+        let available = SimTime::from_mins(rng.gen_range(0..=30));
+        spans.push((a, a + len, available));
+        scenario = scenario.add_item(DataItem::new(
+            format!("seg-{i:03}"),
+            Bytes::new(rng.gen_range(config.item_size.clone())),
+            vec![DataSource::new(MachineId::new(a as u32), available)],
+        ));
+    }
+    let mut requests = Vec::with_capacity(config.transfers);
+    for (i, &(_, b_node, available)) in spans.iter().enumerate() {
+        let offset = rng.gen_range(config.deadline_offset_mins.clone());
+        requests.push(Request::new(
+            DataItemId::new(i as u32),
+            MachineId::new(b_node as u32),
+            available + SimDuration::from_mins(offset),
+            Priority::new(rng.gen_range(0..3)),
+        ));
+    }
+    scenario.add_requests(requests).build().expect("line construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_builds_and_is_strongly_connected() {
+        let s = generate_line(&LineConfig::default(), 0);
+        assert!(s.network().is_strongly_connected());
+        assert_eq!(s.network().machine_count(), 8);
+        assert_eq!(s.network().link_count(), 2 * 7);
+        assert_eq!(s.item_count(), 24);
+        assert_eq!(s.request_count(), 24);
+    }
+
+    #[test]
+    fn line_requests_point_rightward() {
+        let s = generate_line(&LineConfig::default(), 1);
+        for (_, r) in s.requests() {
+            let src = s.item(r.item()).sources()[0].machine;
+            assert!(r.destination().index() > src.index(), "transfers run left to right");
+        }
+    }
+
+    #[test]
+    fn line_generation_is_deterministic() {
+        let a = generate_line(&LineConfig::default(), 5);
+        let b = generate_line(&LineConfig::default(), 5);
+        assert_eq!(a.request_count(), b.request_count());
+        for (ra, rb) in a.requests().zip(b.requests()) {
+            assert_eq!(ra.1, rb.1);
+        }
+    }
+}

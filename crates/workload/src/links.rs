@@ -25,8 +25,13 @@ pub struct Window {
 
 /// Generates the virtual-link windows of one physical link.
 ///
-/// Guarantees: at least one window; windows are disjoint, ordered, all of
-/// the drawn duration, and all inside the 24-hour day.
+/// Guarantees: windows are disjoint, ordered, all of the drawn duration,
+/// and all inside the 24-hour day. When the drawn duration exceeds the
+/// drawn available time the link gets no windows at all — the allocation
+/// is empty rather than rounded up to a window the availability budget
+/// cannot pay for. With the paper's parameters (availability ≥ 50 %,
+/// durations ≤ 4 h) at least three windows always fit, so existing
+/// configurations never hit the empty case.
 pub fn generate_windows(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<Window> {
     const DAY_MS: u64 = 24 * 3_600_000;
     let duration = config.window_durations[rng.gen_range(0..config.window_durations.len())];
@@ -37,7 +42,11 @@ pub fn generate_windows(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<Windo
     let steps = (hi - lo) / 10;
     let percent = lo + 10 * rng.gen_range(0..=steps);
     let available_ms = DAY_MS * u64::from(percent) / 100;
-    let count = (available_ms / duration.as_millis()).max(1);
+    let count = available_ms / duration.as_millis();
+    if count == 0 {
+        // Not even one window fits in the available time.
+        return Vec::new();
+    }
     let busy_ms = count * duration.as_millis();
     let unavailable_ms = DAY_MS.saturating_sub(busy_ms);
 
@@ -46,7 +55,7 @@ pub fn generate_windows(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<Windo
     // Distribute the remaining unavailable time over `count - 1` positive
     // gaps plus a tail: draw random weights, scale to a random fraction of
     // the remaining budget so the tail stays positive too.
-    let mut gaps = vec![0u64; count as usize - 1];
+    let mut gaps = vec![0u64; (count as usize).saturating_sub(1)];
     let budget = unavailable_ms - lead_in;
     if !gaps.is_empty() && budget > gaps.len() as u64 {
         let weights: Vec<u64> = (0..gaps.len()).map(|_| rng.gen_range(1..=1_000u64)).collect();
@@ -178,6 +187,24 @@ mod tests {
                 windows[0].start.as_millis() <= unavailable / 3 + 1,
                 "seed {seed}: lead-in too large"
             );
+        }
+    }
+
+    #[test]
+    fn duration_longer_than_available_time_yields_no_windows() {
+        // Regression: with 10 % availability (2.4 h) and a 4-hour window
+        // duration, zero windows fit. This used to round the count up to
+        // one (and the count-zero path would underflow the gap vector);
+        // the correct allocation is empty.
+        let config = GeneratorConfig {
+            availability_percent: 10..=10,
+            window_durations: vec![dstage_model::time::SimDuration::from_hours(4)],
+            ..GeneratorConfig::default()
+        };
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let windows = generate_windows(&config, &mut rng);
+            assert!(windows.is_empty(), "seed {seed}: expected no windows, got {windows:?}");
         }
     }
 

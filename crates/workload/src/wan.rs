@@ -1,0 +1,284 @@
+//! An inter-datacenter WAN workload family.
+//!
+//! DDCCast-style bulk replication between a handful of datacenters: few
+//! fat links, available bandwidth that swings diurnally between off-peak
+//! and peak levels, and a mix of unicast and point-to-multipoint
+//! transfers (one source datacenter replicating an item to several
+//! destinations that share the staged upstream copies).
+//!
+//! Useful for stressing the shared-copy accounting: a P2MP group's
+//! destinations pull from the same staged copy chain, so the scheduler
+//! should pay each upstream hop once while earning one `W[p]` per
+//! satisfied destination.
+
+use core::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dstage_model::data::{DataItem, DataSource};
+use dstage_model::ids::{DataItemId, MachineId};
+use dstage_model::link::VirtualLink;
+use dstage_model::machine::Machine;
+use dstage_model::network::NetworkBuilder;
+use dstage_model::request::{P2mpRequest, Priority, Request};
+use dstage_model::scenario::Scenario;
+use dstage_model::time::{SimDuration, SimTime};
+use dstage_model::units::{BitsPerSec, Bytes};
+
+/// Tunables of the inter-datacenter WAN workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WanConfig {
+    /// Number of datacenters (default 5).
+    pub datacenters: usize,
+    /// Extra chord links on top of the bidirectional ring (default 2).
+    pub chords: usize,
+    /// Off-peak (night) link bandwidth (default 8 Mbit/s).
+    pub offpeak: BitsPerSec,
+    /// Peak (business-hours) link bandwidth (default 2 Mbit/s).
+    pub peak: BitsPerSec,
+    /// Length of one off-peak + peak cycle (default 40 minutes, so the
+    /// 2-hour horizon sees three full swings).
+    pub diurnal_period: SimDuration,
+    /// Number of bulk transfers (default 40).
+    pub transfers: usize,
+    /// Percentage of transfers that are point-to-multipoint (default 60).
+    pub p2mp_percent: u32,
+    /// Largest P2MP fan-out (default 3 destinations).
+    pub max_fanout: usize,
+    /// Item sizes (default 1–60 MB).
+    pub item_size: RangeInclusive<u64>,
+    /// Deadline offset after item availability, minutes (default 25–90).
+    pub deadline_offset_mins: RangeInclusive<u64>,
+    /// Scheduling horizon (default 2 hours).
+    pub horizon: SimTime,
+}
+
+impl Default for WanConfig {
+    fn default() -> Self {
+        WanConfig {
+            datacenters: 5,
+            chords: 2,
+            offpeak: BitsPerSec::from_mbps(8),
+            peak: BitsPerSec::from_mbps(2),
+            diurnal_period: SimDuration::from_mins(40),
+            transfers: 40,
+            p2mp_percent: 60,
+            max_fanout: 3,
+            item_size: 1_000_000..=60_000_000,
+            deadline_offset_mins: 25..=90,
+            horizon: SimTime::from_hours(2),
+        }
+    }
+}
+
+impl WanConfig {
+    /// A scaled-down configuration for fast tests and CI sweeps.
+    #[must_use]
+    pub fn small() -> Self {
+        WanConfig {
+            datacenters: 4,
+            chords: 1,
+            transfers: 14,
+            item_size: 500_000..=12_000_000,
+            ..WanConfig::default()
+        }
+    }
+}
+
+/// Adds a diurnal fat link: windows alternate between off-peak and peak
+/// bandwidth every half period, with a random per-link phase so the
+/// swings are not synchronized across the WAN.
+fn add_diurnal_link(
+    b: &mut NetworkBuilder,
+    from: MachineId,
+    to: MachineId,
+    config: &WanConfig,
+    rng: &mut StdRng,
+) {
+    let half = (config.diurnal_period.as_millis() / 2).max(1) as i64;
+    let phase = rng.gen_range(0..config.diurnal_period.as_millis()) as i64;
+    let horizon_ms = config.horizon.as_millis() as i64;
+    let mut k: i64 = 0;
+    loop {
+        let start = k * half - phase;
+        if start >= horizon_ms {
+            break;
+        }
+        let end = start + half;
+        if end > 0 {
+            let bandwidth = if k % 2 == 0 { config.offpeak } else { config.peak };
+            b.add_link(VirtualLink::new(
+                from,
+                to,
+                SimTime::from_millis(start.max(0) as u64),
+                SimTime::from_millis(end.min(horizon_ms) as u64),
+                bandwidth,
+            ));
+        }
+        k += 1;
+    }
+}
+
+/// Generates an inter-datacenter WAN scenario. Deterministic in
+/// `(config, seed)`.
+///
+/// Topology: datacenters `dc-0 .. dc-(N-1)` on a bidirectional ring plus
+/// `chords` extra bidirectional chords; every physical direction carries
+/// diurnal windows (off-peak/peak bandwidth, random phase). Each bulk
+/// transfer is its own item at one source datacenter; `p2mp_percent` of
+/// the transfers replicate to 2–`max_fanout` destinations as one P2MP
+/// group, the rest are unicast.
+///
+/// # Panics
+///
+/// Panics if fewer than three datacenters are configured.
+#[must_use]
+pub fn generate_wan(config: &WanConfig, seed: u64) -> Scenario {
+    let n = config.datacenters;
+    assert!(n >= 3, "a WAN needs at least three datacenters");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+
+    for i in 0..n {
+        b.add_machine(Machine::new(format!("dc-{i}"), Bytes::from_gib(50)));
+    }
+
+    // Ring, both directions.
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let (a, z) = (MachineId::new(i as u32), MachineId::new(j as u32));
+        add_diurnal_link(&mut b, a, z, config, &mut rng);
+        add_diurnal_link(&mut b, z, a, config, &mut rng);
+    }
+    // A few chords between non-adjacent datacenters.
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < config.chords && attempts < config.chords * 20 {
+        attempts += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        let adjacent = (i + 1) % n == j || (j + 1) % n == i;
+        if i == j || adjacent {
+            continue;
+        }
+        let (a, z) = (MachineId::new(i as u32), MachineId::new(j as u32));
+        add_diurnal_link(&mut b, a, z, config, &mut rng);
+        add_diurnal_link(&mut b, z, a, config, &mut rng);
+        placed += 1;
+    }
+
+    let mut scenario = Scenario::builder(b.build()).horizon(config.horizon);
+    struct Transfer {
+        destinations: Vec<MachineId>,
+        deadline: SimTime,
+        priority: Priority,
+    }
+    let mut transfers = Vec::with_capacity(config.transfers);
+    for i in 0..config.transfers {
+        let src = rng.gen_range(0..n);
+        let available = SimTime::from_mins(rng.gen_range(0..=30));
+        scenario = scenario.add_item(DataItem::new(
+            format!("bulk-{i:03}"),
+            Bytes::new(rng.gen_range(config.item_size.clone())),
+            vec![DataSource::new(MachineId::new(src as u32), available)],
+        ));
+        let fanout = if rng.gen_range(0..100) < config.p2mp_percent {
+            rng.gen_range(2..=config.max_fanout.min(n - 1).max(2))
+        } else {
+            1
+        };
+        // Fisher-Yates prefix over the other datacenters.
+        let mut others: Vec<usize> = (0..n).filter(|&d| d != src).collect();
+        for k in 0..fanout.min(others.len()) {
+            let j = rng.gen_range(k..others.len());
+            others.swap(k, j);
+        }
+        let offset = rng.gen_range(config.deadline_offset_mins.clone());
+        transfers.push(Transfer {
+            destinations: others[..fanout.min(others.len())]
+                .iter()
+                .map(|&d| MachineId::new(d as u32))
+                .collect(),
+            deadline: available + SimDuration::from_mins(offset),
+            priority: Priority::new(rng.gen_range(0..3)),
+        });
+    }
+    for (i, t) in transfers.into_iter().enumerate() {
+        let item = DataItemId::new(i as u32);
+        if t.destinations.len() == 1 {
+            scenario =
+                scenario.add_request(Request::new(item, t.destinations[0], t.deadline, t.priority));
+        } else {
+            scenario = scenario.add_p2mp_request(&P2mpRequest::new(
+                item,
+                t.destinations,
+                t.deadline,
+                t.priority,
+            ));
+        }
+    }
+    scenario.build().expect("WAN construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wan_builds_and_is_strongly_connected() {
+        let s = generate_wan(&WanConfig::default(), 0);
+        assert!(s.network().is_strongly_connected());
+        assert_eq!(s.network().machine_count(), 5);
+        assert_eq!(s.item_count(), 40);
+        assert!(s.request_count() >= 40, "every transfer expands to >= 1 request");
+    }
+
+    #[test]
+    fn wan_has_p2mp_groups_with_valid_members() {
+        let s = generate_wan(&WanConfig::default(), 1);
+        assert!(!s.p2mp_groups().is_empty(), "default mix is 60 % P2MP");
+        for group in s.p2mp_groups() {
+            assert!(group.len() >= 2, "groups are genuinely multi-destination");
+            let item = s.request(group[0]).item();
+            let deadline = s.request(group[0]).deadline();
+            let mut dests = Vec::new();
+            for &rid in group {
+                let r = s.request(rid);
+                assert_eq!(r.item(), item, "one item per group");
+                assert_eq!(r.deadline(), deadline, "one deadline per group");
+                assert!(!dests.contains(&r.destination()), "duplicate destination");
+                dests.push(r.destination());
+            }
+        }
+    }
+
+    #[test]
+    fn wan_links_swing_between_peak_and_offpeak() {
+        let config = WanConfig::default();
+        let s = generate_wan(&config, 2);
+        let mut peak = 0usize;
+        let mut offpeak = 0usize;
+        for (_, link) in s.network().links() {
+            if link.bandwidth() == config.peak {
+                peak += 1;
+            } else if link.bandwidth() == config.offpeak {
+                offpeak += 1;
+            } else {
+                panic!("unexpected bandwidth {:?}", link.bandwidth());
+            }
+        }
+        assert!(peak > 0 && offpeak > 0, "both regimes present: {peak} peak, {offpeak} offpeak");
+    }
+
+    #[test]
+    fn wan_generation_is_deterministic() {
+        let a = generate_wan(&WanConfig::default(), 9);
+        let b = generate_wan(&WanConfig::default(), 9);
+        assert_eq!(a.request_count(), b.request_count());
+        assert_eq!(a.p2mp_groups(), b.p2mp_groups());
+        for (ra, rb) in a.requests().zip(b.requests()) {
+            assert_eq!(ra.1, rb.1);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based well-formedness checks for every scenario family.
+//!
+//! For every family × seed × scale the generated scenario must be
+//! structurally sound: no zero-capacity links, deadlines no earlier than
+//! the requested item's release (earliest availability), every request
+//! destination reachable from some source of its item, and P2MP
+//! destination sets non-empty and duplicate-free.
+
+use dstage_model::ids::MachineId;
+use dstage_model::scenario::Scenario;
+use dstage_workload::Family;
+use proptest::prelude::*;
+
+/// Machines reachable from `from` over the directed link graph
+/// (windows ignored: reachability is about wiring, not timing).
+fn reachable_from(scenario: &Scenario, from: MachineId) -> Vec<bool> {
+    let network = scenario.network();
+    let mut seen = vec![false; network.machine_count()];
+    let mut queue = vec![from];
+    seen[from.index()] = true;
+    while let Some(m) = queue.pop() {
+        for next in network.neighbors(m) {
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                queue.push(next);
+            }
+        }
+    }
+    seen
+}
+
+fn assert_well_formed(scenario: &Scenario, label: &str) {
+    // No zero-capacity links.
+    for (id, link) in scenario.network().links() {
+        assert!(link.bandwidth().as_u64() > 0, "{label}: link {id} has zero bandwidth");
+        assert!(link.start() < link.end(), "{label}: link {id} has an empty window");
+    }
+    // Deadlines >= release times, and destinations reachable from a source.
+    for (rid, request) in scenario.requests() {
+        let item = scenario.item(request.item());
+        let release =
+            item.earliest_availability().unwrap_or_else(|| panic!("{label}: {rid} sourceless"));
+        assert!(
+            request.deadline() >= release,
+            "{label}: {rid} deadline {:?} precedes release {release:?}",
+            request.deadline()
+        );
+        let reached = item
+            .sources()
+            .iter()
+            .any(|src| reachable_from(scenario, src.machine)[request.destination().index()]);
+        assert!(reached, "{label}: {rid} destination unreachable from every source");
+    }
+    // P2MP groups: non-empty, duplicate-free, one item and deadline each.
+    for (gi, group) in scenario.p2mp_groups().iter().enumerate() {
+        assert!(!group.is_empty(), "{label}: group {gi} empty");
+        let item = scenario.request(group[0]).item();
+        let mut dests = Vec::new();
+        for &rid in group {
+            let r = scenario.request(rid);
+            assert_eq!(r.item(), item, "{label}: group {gi} mixes items");
+            assert!(
+                !dests.contains(&r.destination()),
+                "{label}: group {gi} repeats destination {:?}",
+                r.destination()
+            );
+            dests.push(r.destination());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_family_seed_and_size_is_well_formed(seed in 0u64..1_000, small in 0u8..2) {
+        let small = small == 1;
+        for family in Family::ALL {
+            let scenario =
+                if small { family.generate_small(seed) } else { family.generate(seed) };
+            let label = format!("{family} seed {seed} small {small}");
+            assert_well_formed(&scenario, &label);
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_sweep_is_well_formed() {
+    // A deterministic floor under the property test: the first ten seeds
+    // of every family at both scales, always exercised.
+    for family in Family::ALL {
+        for seed in 0..10 {
+            assert_well_formed(&family.generate(seed), &format!("{family} seed {seed}"));
+            assert_well_formed(
+                &family.generate_small(seed),
+                &format!("{family} small seed {seed}"),
+            );
+        }
+    }
+}
